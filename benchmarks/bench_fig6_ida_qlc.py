@@ -1,0 +1,19 @@
+"""Fig. 6 — the QLC IDA merge (two lower bits invalidated).
+
+Paper: Bit 4 drops from 8 senses to 2, Bit 3 from 4 to 1 after merging
+the sixteen states down to four.
+"""
+
+from __future__ import annotations
+
+from repro.core import IdaTransform, conventional_qlc
+
+
+def test_fig6_qlc_merge(benchmark):
+    coding = conventional_qlc()
+    transform = benchmark(IdaTransform, coding, (2, 3))
+    print()
+    print(transform.describe())
+    assert coding.senses(3) == 8 and transform.senses(3) == 2
+    assert coding.senses(2) == 4 and transform.senses(2) == 1
+    assert len(transform.merged_states) == 4

@@ -1,0 +1,43 @@
+"""Table I — wordline case classification.
+
+Prints the eight-case table and micro-benchmarks the classifier (it runs
+once per wordline per refresh in the simulator's hot path).
+"""
+
+from __future__ import annotations
+
+from repro.core import TLC_CASE_TABLE, classify_validity
+from repro.experiments.reporting import ascii_table
+
+
+def test_table1_classification(benchmark):
+    def classify_all():
+        return [
+            classify_validity((lsb, csb, msb))
+            for lsb in (True, False)
+            for csb in (True, False)
+            for msb in (True, False)
+        ]
+
+    decisions = benchmark(classify_all)
+    assert len(decisions) == 8
+
+    rows = []
+    for case in range(1, 9):
+        decision = TLC_CASE_TABLE[case]
+        rows.append(
+            [
+                case,
+                decision.action.value,
+                ",".join("LCM"[b] for b in decision.pages_to_move) or "-",
+                ",".join("LCM"[b] for b in decision.adjust_bits) or "-",
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["case", "action", "move pages", "adjust bits"],
+            rows,
+            title="Table I: refresh decision per wordline case",
+        )
+    )

@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact.  Macro benches
+replay simulations; to keep ``pytest benchmarks/ --benchmark-only``
+under ~15 minutes they default to a representative five-workload subset
+and a medium scale.  Set ``REPRO_BENCH_FULL=1`` for the paper's full
+eleven workloads (or use the ``ida-repro`` CLI, which exposes every
+artifact at any scale).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import RunScale
+
+#: Representative subset spanning the paper's best (proj_1, usr_1),
+#: median (hm_1, src2_0) and small-request (proj_3) behaviours.
+SUBSET = ["proj_1", "proj_3", "hm_1", "src2_0", "usr_1"]
+
+
+def bench_workloads() -> list[str] | None:
+    """Workload list for macro benches (None = all eleven)."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return None
+    return list(SUBSET)
+
+
+@pytest.fixture(scope="session")
+def macro_scale() -> RunScale:
+    """Simulation scale for the macro (full-stack) benches."""
+    from dataclasses import replace
+
+    scale = RunScale.bench()
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return scale
+    return replace(scale, num_requests=3000)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive artifact regeneration exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Endurance report: the paper's "no lifetime trade-off" claims, measured.
+
+Sec. III-B/III-C argue that IDA (i) leaves erase counts untouched — the
+voltage adjustment reprograms without erasing — and (ii) slightly
+*reduces* total writes, because kept pages are adjusted in place instead
+of being rewritten into new blocks.  This example runs baseline vs
+IDA-E20 on one workload and prints the wear ledger: erase statistics,
+write amplification, and the remaining-lifetime estimate.
+
+Run:  python examples/endurance_report.py [workload] (default: src2_0)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import RunScale, baseline, ida
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import (
+    _to_host_requests,
+    build_simulator,
+)
+from repro.ftl.wear import collect_wear, write_amplification
+from repro.workloads import generate_workload, workload
+
+
+def run_and_report(system, spec, scale):
+    generated = generate_workload(spec)
+    sim = build_simulator(system, scale, spec.duration_us)
+    period = sim.ftl.refresh_policy.period_us
+    sim.preload(generated.fill_lpns, -1.4 * period, -0.4 * period)
+    sim.age(generated.aging_lpns, -0.35 * period)
+    sim.run_requests(_to_host_requests(generated, sim.geometry.page_size_bytes))
+    wear = collect_wear(sim.ftl.table)
+    return {
+        "system": system.name,
+        "erases": wear.total_erases,
+        "max erases/block": wear.max_erases,
+        "wear spread": wear.wear_spread,
+        "WAF": f"{write_amplification(sim.ftl.counters):.2f}",
+        "life remaining": f"{wear.remaining_lifetime_fraction():.1%}",
+        "refresh page writes": sim.ftl.counters.refresh_page_moves
+        + sim.ftl.counters.refresh_corrupted_pages,
+    }
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "src2_0"
+    scale = RunScale.quick()
+    spec = workload(name).scaled(scale.num_requests, scale.footprint_pages)
+    rows = [run_and_report(system, spec, scale) for system in (baseline(), ida(0.2))]
+    headers = list(rows[0])
+    print(
+        ascii_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title=f"Endurance ledger, {name} (quick scale)",
+        )
+    )
+    base_writes, ida_writes = (r["refresh page writes"] for r in rows)
+    print(
+        f"\nIDA refresh wrote {base_writes - ida_writes} fewer pages than the "
+        "baseline refresh\n(kept pages are voltage-adjusted in place), at "
+        "equal-or-lower erase counts —\nthe paper's endurance argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

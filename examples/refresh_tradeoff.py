@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Refresh trade-off study: error rate vs benefit on one workload.
+
+Reproduces the Fig. 8 story for a single workload at quick scale: as the
+voltage-adjustment disturb rate E rises, more kept pages must be written
+back to the new block, the refresh gets more expensive and fewer pages
+stay IDA-coded — so the read-response benefit decays and eventually
+vanishes (the paper's E80 point).  Also prints the per-block Table IV
+accounting for each E.
+
+Run:  python examples/refresh_tradeoff.py [workload] (default: usr_1)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import RunScale, baseline, ida, run_workload
+from repro.experiments.reporting import ascii_table
+from repro.workloads import workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "usr_1"
+    scale = RunScale.quick()
+    spec = workload(name)
+    print(f"workload {name}, quick scale "
+          f"({scale.num_requests} requests, {scale.footprint_pages} pages)")
+
+    base = run_workload(baseline(), spec, scale)
+    print(f"baseline mean read response: {base.mean_read_response_us:.1f} us\n")
+
+    rows = []
+    for error_rate in (0.0, 0.1, 0.2, 0.4, 0.5, 0.8):
+        result = run_workload(ida(error_rate), spec, scale)
+        reports = [r for r in result.refresh_reports if r.n_adjusted_wordlines]
+        count = max(1, len(reports))
+        rows.append(
+            [
+                f"E{int(error_rate * 100)}",
+                f"{result.mean_read_response_us / base.mean_read_response_us:.3f}",
+                f"{sum(r.n_valid for r in reports) / count:.0f}",
+                f"{sum(r.extra_reads for r in reports) / count:.0f}",
+                f"{sum(r.extra_writes for r in reports) / count:.0f}",
+                f"{result.metrics.read_mix.ida_fast_reads}",
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "system",
+                "norm. read RT",
+                "valid/blk",
+                "extra reads/blk",
+                "extra writes/blk",
+                "IDA-served reads",
+            ],
+            rows,
+            title="Error-rate sweep (paper Fig. 8 + Table IV)",
+        )
+    )
+    print(
+        "\nExpected shape: normalized RT rises toward 1.0 with E; extra\n"
+        "writes track E x extra reads; IDA-served reads shrink as more\n"
+        "disturbed pages are evicted to conventional blocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Command-line front-end: regenerate any paper artifact.
+
+Usage::
+
+    ida-repro list
+    ida-repro fig8  [--scale quick|bench|full] [--workloads usr_1,proj_1]
+    ida-repro table4 --scale bench
+    ida-repro all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .experiments import (
+    RunScale,
+    format_ablation,
+    format_capacity,
+    run_capacity_analysis,
+    format_fig4,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_qlc,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_adjust_cost_ablation,
+    run_allocation_ablation,
+    run_fig4,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_qlc_extension,
+    run_refresh_frequency_ablation,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = ["main", "ARTIFACTS"]
+
+#: artifact name -> (runner, formatter)
+ARTIFACTS: dict[str, tuple[Callable, Callable]] = {
+    "fig4": (run_fig4, format_fig4),
+    "fig8": (run_fig8, format_fig8),
+    "fig9": (run_fig9, format_fig9),
+    "fig10": (run_fig10, format_fig10),
+    "fig11": (run_fig11, format_fig11),
+    "table3": (run_table3, format_table3),
+    "table4": (run_table4, format_table4),
+    "table5": (run_table5, format_table5),
+    "qlc": (run_qlc_extension, format_qlc),
+    "capacity": (run_capacity_analysis, format_capacity),
+    "ablation-adjust": (run_adjust_cost_ablation, format_ablation),
+    "ablation-refresh": (run_refresh_frequency_ablation, format_ablation),
+    "ablation-alloc": (run_allocation_ablation, format_ablation),
+}
+
+_SCALES = {
+    "quick": RunScale.quick,
+    "bench": RunScale.bench,
+    "full": RunScale.full,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ida-repro",
+        description="Regenerate artifacts of the MICRO'18 IDA-coding paper.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["list", "all"],
+        help="artifact to regenerate ('list' shows options, 'all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="bench",
+        help="simulation scale (default: bench)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload subset (default: the paper's 11)",
+    )
+    return parser
+
+
+def _run_one(name: str, scale: RunScale, workload_names: list[str] | None) -> str:
+    runner, formatter = ARTIFACTS[name]
+    started = time.time()
+    result = runner(scale=scale, workload_names=workload_names)
+    elapsed = time.time() - started
+    return f"{formatter(result)}\n[{name}: {elapsed:.1f}s]"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.artifact == "list":
+        for name in sorted(ARTIFACTS):
+            print(name)
+        return 0
+    scale = _SCALES[args.scale]()
+    workload_names = args.workloads.split(",") if args.workloads else None
+    targets = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in targets:
+        print(_run_one(name, scale, workload_names))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Core contribution: multi-level-cell codings and the IDA transform."""
+
+from .coding import BitTuple, GrayCoding, sense_level, standard_coding
+from .cases import (
+    TLC_CASE_TABLE,
+    WordlineAction,
+    WordlineDecision,
+    classify_tlc_case,
+    classify_validity,
+)
+from .ida import IdaTransform, merge_states
+from .mlc import MLC_LSB, MLC_MSB, conventional_mlc
+from .qlc import QLC_BITS, conventional_qlc
+from .readpath import ReadLatencyModel
+from .tlc import CSB, LSB, MSB, PAGE_NAMES, conventional_tlc, tlc_232
+
+__all__ = [
+    "BitTuple",
+    "GrayCoding",
+    "sense_level",
+    "standard_coding",
+    "TLC_CASE_TABLE",
+    "WordlineAction",
+    "WordlineDecision",
+    "classify_tlc_case",
+    "classify_validity",
+    "IdaTransform",
+    "merge_states",
+    "MLC_LSB",
+    "MLC_MSB",
+    "conventional_mlc",
+    "QLC_BITS",
+    "conventional_qlc",
+    "ReadLatencyModel",
+    "CSB",
+    "LSB",
+    "MSB",
+    "PAGE_NAMES",
+    "conventional_tlc",
+    "tlc_232",
+]

@@ -1,0 +1,23 @@
+"""Named MLC coding (Sec. V-G).
+
+MLC cells store two bits (LSB, MSB) across four voltage states.  Under the
+standard coding the LSB reads with one sense and the MSB with two; the
+paper's MLC device reads them in 65 us and 115 us respectively (Micron
+MLC+ spec [39]), i.e. ``tR_base = 65 us`` and ``dtR = 50 us``.
+"""
+
+from __future__ import annotations
+
+from .coding import GrayCoding, standard_coding
+
+__all__ = ["MLC_LSB", "MLC_MSB", "conventional_mlc"]
+
+#: Bit index of the fast MLC page.
+MLC_LSB = 0
+#: Bit index of the slow MLC page.
+MLC_MSB = 1
+
+
+def conventional_mlc() -> GrayCoding:
+    """The standard MLC coding: senses (LSB, MSB) = (1, 2)."""
+    return standard_coding(2, name="mlc-conventional-1-2")

@@ -1,0 +1,21 @@
+"""Named QLC coding (Fig. 6 and the Sec. V-G future-work extension).
+
+QLC cells store four bits across sixteen voltage states.  Under the standard
+coding family the four bits (Bit 1 .. Bit 4 in the paper's figure, LSB
+first) read with 1/2/4/8 senses — an even harsher read-variation problem
+than TLC, which is why the paper expects IDA to help QLC the most.
+"""
+
+from __future__ import annotations
+
+from .coding import GrayCoding, standard_coding
+
+__all__ = ["QLC_BITS", "conventional_qlc"]
+
+#: Number of bits per QLC cell.
+QLC_BITS = 4
+
+
+def conventional_qlc() -> GrayCoding:
+    """The standard QLC coding: senses (Bit1..Bit4) = (1, 2, 4, 8)."""
+    return standard_coding(4, name="qlc-conventional-1-2-4-8")

@@ -1,0 +1,67 @@
+"""Read-latency model: from sense counts to memory-access time (Sec. II-C).
+
+The memory-access stage of a flash read applies one read voltage per sense
+and checks whether the cell conducts.  The paper's TLC device reads its
+1/2/4-sense pages in 50/100/150 us — latency grows by a fixed step
+``dtR`` each time the sense count *doubles* (the extra senses at a given
+level share wordline setup and can be pipelined).  We therefore model
+
+    tR(senses) = tR_base + dtR * log2(senses)
+
+which reproduces the Table II numbers (tR_base = 50 us, dtR = 50 us), the
+MLC device of Sec. V-G (65/115 us with dtR = 50 us) and parameterises the
+Fig. 9 dtR sweep with a single knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .coding import GrayCoding, sense_level
+from .ida import IdaTransform
+
+__all__ = ["ReadLatencyModel"]
+
+
+@dataclass(frozen=True)
+class ReadLatencyModel:
+    """Maps sense counts to memory-access latencies.
+
+    Attributes:
+        tr_base_us: Latency of a single-sense read (the LSB read).
+        dtr_us: Latency step per doubling of the sense count; the paper's
+            "delta-tR" device parameter swept in Fig. 9.
+    """
+
+    tr_base_us: float = 50.0
+    dtr_us: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.tr_base_us <= 0:
+            raise ValueError("tr_base_us must be positive")
+        if self.dtr_us < 0:
+            raise ValueError("dtr_us must be non-negative")
+
+    def latency_us(self, senses: int) -> float:
+        """Memory-access latency of a read needing ``senses`` senses.
+
+        Sense counts that are not powers of two (the 2-3-2 coding's CSB
+        read, for instance) are charged at the next power-of-two level,
+        the conservative choice.
+        """
+        if senses < 1:
+            raise ValueError("a read needs at least one sense")
+        rounded = 1 << (senses - 1).bit_length()
+        return self.tr_base_us + self.dtr_us * sense_level(rounded)
+
+    def page_latency_us(self, coding: GrayCoding, bit: int) -> float:
+        """Latency of reading ``bit`` of a conventionally-coded wordline."""
+        return self.latency_us(coding.senses(bit))
+
+    def ida_latency_us(self, transform: IdaTransform, bit: int) -> float:
+        """Latency of reading ``bit`` of an IDA-reprogrammed wordline."""
+        return self.latency_us(transform.senses(bit))
+
+    def with_dtr(self, dtr_us: float) -> "ReadLatencyModel":
+        """A copy with a different dtR (the Fig. 9 sweep)."""
+        return ReadLatencyModel(tr_base_us=self.tr_base_us, dtr_us=dtr_us)

@@ -1,0 +1,62 @@
+"""Named TLC codings.
+
+Two codings appear in the paper:
+
+* the **conventional** 1-2-4 coding of Fig. 2 (LSB/CSB/MSB read with 1/2/4
+  senses) — this is the baseline throughout the evaluation; and
+* an **alternate 2-3-2** coding some vendors use (Sec. III-B), whose read
+  variation is milder (2/3/2 senses) but which still benefits from IDA in
+  higher densities.
+"""
+
+from __future__ import annotations
+
+from .coding import GrayCoding, standard_coding
+
+__all__ = [
+    "LSB",
+    "CSB",
+    "MSB",
+    "PAGE_NAMES",
+    "conventional_tlc",
+    "tlc_232",
+]
+
+#: Bit index of the least-significant (fast) page of a TLC wordline.
+LSB = 0
+#: Bit index of the center page.
+CSB = 1
+#: Bit index of the most-significant (slow) page.
+MSB = 2
+
+#: Human-readable page-type names, indexed by bit position.
+PAGE_NAMES = ("LSB", "CSB", "MSB")
+
+
+def conventional_tlc() -> GrayCoding:
+    """The paper's Fig. 2 coding: senses (LSB, CSB, MSB) = (1, 2, 4).
+
+    Read rules reproduced by this table:
+
+    * LSB: one sense at V4;
+    * CSB: two senses at V2, V6;
+    * MSB: four senses at V1, V3, V5, V7.
+    """
+    return standard_coding(3, name="tlc-conventional-1-2-4")
+
+
+def tlc_232() -> GrayCoding:
+    """A vendor-alternate TLC coding with senses (LSB, CSB, MSB) = (2, 3, 2).
+
+    Built from the Gray flip sequence L C M C L C M starting at the erased
+    state (1, 1, 1); the read variation (2/3/2) is much smaller than the
+    conventional coding's (1/2/4), which is why the paper notes such
+    codings "suffer much less" — but IDA still composes with them.
+    """
+    flips = (LSB, CSB, MSB, CSB, LSB, CSB, MSB)
+    states = [(1, 1, 1)]
+    for bit in flips:
+        previous = list(states[-1])
+        previous[bit] ^= 1
+        states.append(tuple(previous))
+    return GrayCoding("tlc-alternate-2-3-2", tuple(states))

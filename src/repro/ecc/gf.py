@@ -1,0 +1,107 @@
+"""Galois-field arithmetic GF(2^m) for the BCH codec.
+
+Log/antilog-table arithmetic over GF(2^m) with a primitive polynomial.
+Small, exact and dependency-free — sized for the per-page ECC words the
+flash substrate uses (m up to 10 covers 8 KiB pages with interleaving).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GF2m", "DEFAULT_PRIMITIVE_POLYS"]
+
+#: Standard primitive polynomials (as bit-packed integers, degree m).
+DEFAULT_PRIMITIVE_POLYS: dict[int, int] = {
+    3: 0b1011,        # x^3 + x + 1
+    4: 0b10011,       # x^4 + x + 1
+    5: 0b100101,      # x^5 + x^2 + 1
+    6: 0b1000011,     # x^6 + x + 1
+    7: 0b10001001,    # x^7 + x^3 + 1
+    8: 0b100011101,   # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,  # x^9 + x^4 + 1
+    10: 0b10000001001,  # x^10 + x^3 + 1
+}
+
+
+class GF2m:
+    """The field GF(2^m) with exp/log tables.
+
+    Elements are integers in ``[0, 2^m)``; 0 is the additive identity
+    (no logarithm), ``alpha = 2`` generates the multiplicative group.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None) -> None:
+        if m < 2 or m > 16:
+            raise ValueError("m must be in [2, 16]")
+        poly = primitive_poly or DEFAULT_PRIMITIVE_POLYS.get(m)
+        if poly is None:
+            raise ValueError(f"no default primitive polynomial for m={m}")
+        if poly.bit_length() != m + 1:
+            raise ValueError(
+                f"primitive polynomial degree {poly.bit_length() - 1} != m={m}"
+            )
+        self.m = m
+        self.order = 1 << m
+        self.poly = poly
+        size = self.order - 1
+        self.exp = [0] * (2 * size)
+        self.log = [0] * self.order
+        value = 1
+        for power in range(size):
+            self.exp[power] = value
+            self.log[value] = power
+            value <<= 1
+            if value & self.order:
+                value ^= poly
+            if value == 1 and power != size - 1:
+                # alpha's multiplicative order is smaller than 2^m - 1.
+                raise ValueError(
+                    f"polynomial {poly:#b} is not primitive for m={m}"
+                )
+        if value != 1:
+            raise ValueError(f"polynomial {poly:#b} is not primitive for m={m}")
+        for power in range(size, 2 * size):
+            self.exp[power] = self.exp[power - size]
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by the field zero")
+        if a == 0:
+            return 0
+        return self.exp[(self.log[a] - self.log[b]) % (self.order - 1)]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return self.exp[(self.order - 1 - self.log[a]) % (self.order - 1)]
+
+    def pow_alpha(self, exponent: int) -> int:
+        """alpha ** exponent (any integer exponent)."""
+        return self.exp[exponent % (self.order - 1)]
+
+    # ------------------------------------------------------------------
+    # Polynomials over the field (lists of coefficients, low order first)
+    # ------------------------------------------------------------------
+    def poly_eval(self, coeffs: list[int], x: int) -> int:
+        """Evaluate a polynomial at ``x`` (Horner)."""
+        result = 0
+        for coeff in reversed(coeffs):
+            result = self.mul(result, x) ^ coeff
+        return result
+
+    def poly_mul(self, a: list[int], b: list[int]) -> list[int]:
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    out[i + j] ^= self.mul(ca, cb)
+        return out

@@ -1,0 +1,88 @@
+"""Statistical LDPC decode model (read retry, after LDPC-in-SSD [38]).
+
+Modern SSDs decode with LDPC: a fast hard decode first, then — on failure —
+progressively finer soft decodes, each requiring the page to be *re-sensed*
+with extra read voltages.  The decode-failure probability falls steeply
+with each extra sensing level; Zhao et al. [38] characterise this as a
+near-exponential decay in the number of levels.  The model here exposes:
+
+* ``hard_failure_probability(rber)`` — logistic ramp around the hard-decode
+  correction strength;
+* ``level_failure_probability(rber, level)`` — residual failure probability
+  after ``level`` extra sensings (exponential decay per level);
+* ``sample_sensing_levels(rng, rber)`` — how many extra sensing passes one
+  page read performs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LdpcModel"]
+
+
+@dataclass(frozen=True)
+class LdpcModel:
+    """Read-retry statistics of an LDPC-protected flash page.
+
+    Attributes:
+        hard_threshold_rber: RBER at which the hard decode fails half the
+            time.
+        hard_sharpness: Steepness of the hard-decode logistic ramp.
+        level_decay: Multiplicative drop in failure probability per extra
+            sensing level (each level roughly halves-to-quarters the
+            failure rate in [38]'s data).
+        max_levels: Maximum extra sensing levels the controller tries.
+    """
+
+    hard_threshold_rber: float = 2e-3
+    hard_sharpness: float = 1500.0
+    level_decay: float = 0.35
+    max_levels: int = 7
+
+    def __post_init__(self) -> None:
+        if self.hard_threshold_rber <= 0:
+            raise ValueError("hard_threshold_rber must be positive")
+        if not 0 < self.level_decay < 1:
+            raise ValueError("level_decay must be in (0, 1)")
+        if self.max_levels < 1:
+            raise ValueError("max_levels must be >= 1")
+
+    def hard_failure_probability(self, rber: float) -> float:
+        """Probability the initial hard decode fails at this RBER."""
+        if rber < 0:
+            raise ValueError("rber must be non-negative")
+        x = self.hard_sharpness * (rber - self.hard_threshold_rber)
+        return 1.0 / (1.0 + math.exp(-x))
+
+    def level_failure_probability(self, rber: float, level: int) -> float:
+        """Residual failure probability after ``level`` extra sensings."""
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        return self.hard_failure_probability(rber) * (self.level_decay**level)
+
+    def sample_sensing_levels(
+        self, rng: np.random.Generator, rber: float
+    ) -> int:
+        """Extra sensing passes one read performs (0 = hard decode hit)."""
+        level = 0
+        while (
+            level < self.max_levels
+            and rng.random() < self.level_failure_probability(rber, level)
+        ):
+            level += 1
+        return level
+
+    def expected_sensing_levels(self, rber: float) -> float:
+        """Mean of :meth:`sample_sensing_levels`, for closed-form checks."""
+        expected = 0.0
+        survive = 1.0
+        for level in range(self.max_levels):
+            survive *= self.level_failure_probability(rber, level)
+            expected += survive
+            if survive < 1e-12:
+                break
+        return expected

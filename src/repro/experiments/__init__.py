@@ -1,0 +1,87 @@
+"""Experiment harness: one module per reproduced table / figure."""
+
+from .ablations import (
+    AblationResult,
+    format_ablation,
+    run_adjust_cost_ablation,
+    run_allocation_ablation,
+    run_refresh_frequency_ablation,
+)
+from .capacity_analysis import (
+    CapacityResult,
+    format_capacity,
+    run_capacity_analysis,
+)
+from .config import DeviceConfig, RunScale, device
+from .fig4_motivation import Fig4Result, Fig4Row, format_fig4, run_fig4
+from .fig8_response_time import Fig8Result, format_fig8, run_fig8
+from .fig9_dtr_sensitivity import Fig9Result, format_fig9, run_fig9
+from .fig10_throughput import Fig10Result, format_fig10, run_fig10
+from .fig11_read_retry import Fig11Result, LifetimePhase, format_fig11, run_fig11
+from .qlc_extension import QlcResult, format_qlc, run_qlc_extension
+from .reporting import ascii_table, format_pct
+from .runner import (
+    RunResult,
+    improvement_pct,
+    normalized_read_response,
+    run_workload,
+    run_workload_closed_loop,
+)
+from .systems import SystemSpec, baseline, error_rate_sweep, ida
+from .table3_workloads import Table3Result, format_table3, run_table3
+from .table4_refresh_overhead import Table4Result, format_table4, run_table4
+from .table5_mlc import Table5Result, format_table5, run_table5
+
+__all__ = [
+    "CapacityResult",
+    "format_capacity",
+    "run_capacity_analysis",
+    "AblationResult",
+    "format_ablation",
+    "run_adjust_cost_ablation",
+    "run_allocation_ablation",
+    "run_refresh_frequency_ablation",
+    "DeviceConfig",
+    "RunScale",
+    "device",
+    "Fig4Result",
+    "Fig4Row",
+    "format_fig4",
+    "run_fig4",
+    "Fig8Result",
+    "format_fig8",
+    "run_fig8",
+    "Fig9Result",
+    "format_fig9",
+    "run_fig9",
+    "Fig10Result",
+    "format_fig10",
+    "run_fig10",
+    "Fig11Result",
+    "LifetimePhase",
+    "format_fig11",
+    "run_fig11",
+    "QlcResult",
+    "format_qlc",
+    "run_qlc_extension",
+    "ascii_table",
+    "format_pct",
+    "RunResult",
+    "improvement_pct",
+    "normalized_read_response",
+    "run_workload",
+    "run_workload_closed_loop",
+    "SystemSpec",
+    "baseline",
+    "error_rate_sweep",
+    "ida",
+    "Table3Result",
+    "format_table3",
+    "run_table3",
+    "Table4Result",
+    "format_table4",
+    "run_table4",
+    "Table5Result",
+    "format_table5",
+    "run_table5",
+]

@@ -1,0 +1,133 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three knobs the paper argues about but does not sweep:
+
+* **Adjustment cost** (Sec. III-B): the paper conservatively charges one
+  full MSB program per wordline for the voltage adjustment, while arguing
+  ~0.5x is achievable (half the ISPP range).  ``adjust_cost`` compares
+  both charges.
+* **Refresh frequency** (Sec. III-C): IDA rides on refresh, so a longer
+  period means fewer conversion opportunities.  ``refresh_frequency``
+  sweeps refresh cycles per trace.
+* **Allocation strategy** [26]: CWDP vs the plane-first extreme, to show
+  the IDA benefit is not an artifact of one striping order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..workloads.msr import TABLE3_WORKLOADS
+from .config import RunScale
+from .reporting import ascii_table
+from .runner import improvement_pct, run_workload
+from .systems import baseline, ida
+
+__all__ = [
+    "AblationResult",
+    "run_adjust_cost_ablation",
+    "run_refresh_frequency_ablation",
+    "run_allocation_ablation",
+    "format_ablation",
+]
+
+
+@dataclass
+class AblationResult:
+    """``improvement_pct[setting][workload]`` for one swept knob."""
+
+    knob: str
+    improvement_pct: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def average(self, setting: str) -> float:
+        values = list(self.improvement_pct.get(setting, {}).values())
+        return sum(values) / len(values) if values else 0.0
+
+
+def _workloads(workload_names: list[str] | None) -> list[str]:
+    return workload_names or ["proj_1", "usr_1", "src2_0"]
+
+
+def run_adjust_cost_ablation(
+    scale: RunScale | None = None,
+    workload_names: list[str] | None = None,
+    fractions: tuple[float, ...] = (0.5, 1.0),
+    seed: int = 11,
+) -> AblationResult:
+    """IDA benefit under proportional vs conservative adjustment cost."""
+    scale = scale or RunScale.bench()
+    result = AblationResult(knob="adjust_program_fraction")
+    for fraction in fractions:
+        setting = f"adjust={fraction:g}x"
+        result.improvement_pct[setting] = {}
+        for name in _workloads(workload_names):
+            spec = TABLE3_WORKLOADS[name]
+            base = run_workload(baseline(), spec, scale, seed=seed)
+            variant = run_workload(
+                replace(ida(0.2), adjust_program_fraction=fraction),
+                spec,
+                scale,
+                seed=seed,
+            )
+            result.improvement_pct[setting][name] = improvement_pct(variant, base)
+    return result
+
+
+def run_refresh_frequency_ablation(
+    scale: RunScale | None = None,
+    workload_names: list[str] | None = None,
+    cycles: tuple[float, ...] = (1.5, 3.0, 6.0),
+    seed: int = 11,
+) -> AblationResult:
+    """IDA benefit vs refresh cycles per trace (more cycles = fresher IDA)."""
+    scale = scale or RunScale.bench()
+    result = AblationResult(knob="refresh_cycles")
+    for value in cycles:
+        scaled = replace(scale, refresh_cycles=value)
+        setting = f"cycles={value:g}"
+        result.improvement_pct[setting] = {}
+        for name in _workloads(workload_names):
+            spec = TABLE3_WORKLOADS[name]
+            base = run_workload(baseline(), spec, scaled, seed=seed)
+            variant = run_workload(ida(0.2), spec, scaled, seed=seed)
+            result.improvement_pct[setting][name] = improvement_pct(variant, base)
+    return result
+
+
+def run_allocation_ablation(
+    scale: RunScale | None = None,
+    workload_names: list[str] | None = None,
+    strategies: tuple[str, ...] = ("cwdp", "pdwc"),
+    seed: int = 11,
+) -> AblationResult:
+    """IDA benefit under different static allocation stripe orders."""
+    scale = scale or RunScale.bench()
+    result = AblationResult(knob="allocation")
+    for strategy in strategies:
+        setting = f"alloc={strategy}"
+        result.improvement_pct[setting] = {}
+        for name in _workloads(workload_names):
+            spec = TABLE3_WORKLOADS[name]
+            base = run_workload(
+                replace(baseline(), allocation=strategy), spec, scale, seed=seed
+            )
+            variant = run_workload(
+                replace(ida(0.2), allocation=strategy), spec, scale, seed=seed
+            )
+            result.improvement_pct[setting][name] = improvement_pct(variant, base)
+    return result
+
+
+def format_ablation(result: AblationResult) -> str:
+    settings = list(result.improvement_pct)
+    names = sorted(
+        {n for per in result.improvement_pct.values() for n in per}
+    )
+    headers = ["workload"] + settings
+    rows = [
+        [name]
+        + [f"{result.improvement_pct[s].get(name, 0.0):.1f}%" for s in settings]
+        for name in names
+    ]
+    rows.append(["average"] + [f"{result.average(s):.1f}%" for s in settings])
+    return ascii_table(headers, rows, title=f"Ablation: {result.knob}")

@@ -1,0 +1,31 @@
+"""Plain-text tables for the benchmark harness and the CLI."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_table", "format_pct"]
+
+
+def format_pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a simple aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+
+    def fmt(row: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Flash device substrate: geometry, timing, cells, blocks, error models."""
+
+from .block import CONVENTIONAL_WL, Block, PageState, SenseTable
+from .cell import ERASED_STATE, WordlineCells
+from .chip import CellChip
+from .errors import AdjustDisturbModel, RberModel, ReadRetryModel
+from .geometry import Geometry, PhysicalPageAddress
+from .ispp import IsppModel
+from .plane import PlanePool
+from .timing import TimingSpec
+from .voltage import StateDistribution, VoltageModel
+
+__all__ = [
+    "CONVENTIONAL_WL",
+    "Block",
+    "PageState",
+    "SenseTable",
+    "ERASED_STATE",
+    "WordlineCells",
+    "CellChip",
+    "AdjustDisturbModel",
+    "RberModel",
+    "ReadRetryModel",
+    "Geometry",
+    "PhysicalPageAddress",
+    "IsppModel",
+    "PlanePool",
+    "TimingSpec",
+    "StateDistribution",
+    "VoltageModel",
+]

@@ -1,0 +1,218 @@
+"""Block-level bookkeeping used by the FTL and simulator.
+
+A :class:`Block` tracks exactly the state the paper's FTL needs (Sec.
+III-C, "Hardware/Software Overheads"): per-page validity (the existing
+block status table), one flag telling conventional blocks from IDA blocks,
+and one per-wordline mode recording which reprogrammed code the wordline
+uses (CSB+MSB kept, or MSB only — generalised here to "kept-bit suffix
+start").  Sense counts for every (wordline mode, page type) pair are
+precomputed once per coding in :class:`SenseTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from ..core.coding import GrayCoding
+from ..core.ida import IdaTransform
+
+__all__ = ["PageState", "SenseTable", "Block", "CONVENTIONAL_WL"]
+
+
+class PageState(IntEnum):
+    """Lifecycle of one physical page."""
+
+    FREE = 0
+    VALID = 1
+    INVALID = 2
+
+
+#: Sentinel wordline mode: programmed with the conventional coding.
+CONVENTIONAL_WL = 0xFF
+
+
+class SenseTable:
+    """Precomputed sense counts for a coding and all its IDA modes.
+
+    For a ``b``-bit coding there are ``b - 1`` possible reprogrammed modes,
+    identified by the *start bit* of the kept suffix (TLC: start 1 keeps
+    CSB+MSB, start 2 keeps MSB only).  The table resolves
+    ``(wordline mode, page type) -> senses`` in O(1), which is the hot path
+    of the simulator.
+    """
+
+    def __init__(self, coding: GrayCoding) -> None:
+        self.coding = coding
+        self.conventional: tuple[int, ...] = coding.sense_counts()
+        self.transforms: dict[int, IdaTransform] = {}
+        self._ida: dict[int, dict[int, int]] = {}
+        for start in range(1, coding.bits):
+            transform = IdaTransform(coding, tuple(range(start, coding.bits)))
+            self.transforms[start] = transform
+            self._ida[start] = transform.sense_counts()
+
+    def senses(self, wl_mode: int, bit: int) -> int:
+        """Senses to read page type ``bit`` under wordline mode ``wl_mode``.
+
+        Args:
+            wl_mode: :data:`CONVENTIONAL_WL` or the kept-suffix start bit.
+            bit: Page type (0 = LSB).
+
+        Raises:
+            KeyError: if the bit was evicted by the mode (reading an
+                invalidated page of an IDA wordline is a logic error).
+        """
+        if wl_mode == CONVENTIONAL_WL:
+            return self.conventional[bit]
+        return self._ida[wl_mode][bit]
+
+    def transform_for(self, start: int) -> IdaTransform:
+        """The IDA transform of the mode keeping bits ``start..b-1``."""
+        return self.transforms[start]
+
+
+@dataclass
+class Block:
+    """Mutable state of one physical block.
+
+    Attributes:
+        index: Linear block number within the device.
+        pages_per_block: Page count (Table II: 192).
+        bits_per_cell: Cell density (TLC: 3).
+        page_states: Per-page :class:`PageState` (stored compactly).
+        wl_modes: Per-wordline coding mode (:data:`CONVENTIONAL_WL` or the
+            kept-suffix start bit of the applied IDA transform).
+        next_page: Sequential program pointer (NAND programs in order).
+        valid_count: Number of VALID pages (GC victim-selection key).
+        erase_count: Wear counter (wear-aware GC tie-break).
+        programmed_at_us: Simulation time of the first program after the
+            last erase — the age the refresh daemon compares against.
+        is_ida: True once any wordline was voltage-adjusted; such blocks
+            are force-reclaimed at their next refresh (Sec. III-C).
+        locked: True while a refresh is mutating the block; GC must not
+            pick it as a victim mid-refresh.
+    """
+
+    index: int
+    pages_per_block: int
+    bits_per_cell: int
+    page_states: bytearray = field(init=False)
+    wl_modes: bytearray = field(init=False)
+    next_page: int = 0
+    valid_count: int = 0
+    erase_count: int = 0
+    programmed_at_us: float | None = None
+    is_ida: bool = False
+    locked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pages_per_block % self.bits_per_cell:
+            raise ValueError("pages_per_block must divide evenly into wordlines")
+        self.page_states = bytearray(self.pages_per_block)
+        self.wl_modes = bytearray([CONVENTIONAL_WL]) * self.wordlines
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def wordlines(self) -> int:
+        return self.pages_per_block // self.bits_per_cell
+
+    @property
+    def is_full(self) -> bool:
+        return self.next_page >= self.pages_per_block
+
+    @property
+    def free_pages(self) -> int:
+        return self.pages_per_block - self.next_page
+
+    @property
+    def invalid_count(self) -> int:
+        return sum(1 for s in self.page_states if s == PageState.INVALID)
+
+    def state_of(self, page: int) -> PageState:
+        return PageState(self.page_states[page])
+
+    def wordline_of(self, page: int) -> int:
+        return page // self.bits_per_cell
+
+    def bit_of(self, page: int) -> int:
+        return page % self.bits_per_cell
+
+    def wordline_validity(self, wordline: int) -> tuple[bool, ...]:
+        """Per-bit validity of a wordline (the Table I input)."""
+        base = wordline * self.bits_per_cell
+        return tuple(
+            self.page_states[base + offset] == PageState.VALID
+            for offset in range(self.bits_per_cell)
+        )
+
+    def valid_pages(self) -> list[int]:
+        """Page-in-block indices of all valid pages, ascending."""
+        return [
+            page
+            for page, state in enumerate(self.page_states)
+            if state == PageState.VALID
+        ]
+
+    def wl_mode(self, wordline: int) -> int:
+        return self.wl_modes[wordline]
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def program_next(self, now_us: float) -> int:
+        """Program the next sequential page; returns its page index.
+
+        Raises:
+            RuntimeError: if the block is full or was IDA-reprogrammed
+                (IDA blocks accept no new programs until erased).
+        """
+        if self.is_full:
+            raise RuntimeError(f"block {self.index} is full")
+        if self.is_ida:
+            raise RuntimeError(f"block {self.index} is IDA-coded; erase first")
+        page = self.next_page
+        self.next_page += 1
+        self.page_states[page] = PageState.VALID
+        self.valid_count += 1
+        if self.programmed_at_us is None:
+            self.programmed_at_us = now_us
+        return page
+
+    def invalidate(self, page: int) -> None:
+        """Mark a valid page invalid (its logical data moved elsewhere)."""
+        if self.page_states[page] != PageState.VALID:
+            raise RuntimeError(
+                f"block {self.index} page {page} is not valid "
+                f"({PageState(self.page_states[page]).name})"
+            )
+        self.page_states[page] = PageState.INVALID
+        self.valid_count -= 1
+
+    def set_wordline_ida(self, wordline: int, start_bit: int) -> None:
+        """Record a voltage adjustment keeping bits ``start_bit..b-1``."""
+        if not 1 <= start_bit < self.bits_per_cell:
+            raise ValueError(f"invalid kept-suffix start bit {start_bit}")
+        self.wl_modes[wordline] = start_bit
+        self.is_ida = True
+
+    def erase(self) -> None:
+        """Erase the block: all pages free, wear counter bumped."""
+        if self.valid_count:
+            raise RuntimeError(
+                f"erasing block {self.index} with {self.valid_count} valid pages"
+            )
+        for page in range(self.pages_per_block):
+            self.page_states[page] = PageState.FREE
+        for wordline in range(self.wordlines):
+            self.wl_modes[wordline] = CONVENTIONAL_WL
+        self.next_page = 0
+        self.erase_count += 1
+        self.programmed_at_us = None
+        self.is_ida = False
+
+    def senses_for(self, table: SenseTable, page: int) -> int:
+        """Senses a read of ``page`` needs given the wordline's mode."""
+        return table.senses(self.wl_modes[self.wordline_of(page)], self.bit_of(page))

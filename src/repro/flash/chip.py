@@ -1,0 +1,88 @@
+"""Cell-resolution flash chip for executable coding demonstrations.
+
+:class:`CellChip` wires :class:`~repro.flash.cell.WordlineCells` into a
+small block/wordline hierarchy so the full IDA data path — program with
+the conventional coding, invalidate, voltage-adjust, re-read — can be
+executed bit-exactly.  The integration tests and the ``data_integrity``
+example use it to demonstrate that IDA never changes stored data (a
+"Critical Point" of Sec. III-C); the performance simulator does not (it
+uses the symbolic sense-count model, like the paper's DiskSim setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.coding import GrayCoding
+from ..core.ida import IdaTransform
+from .cell import WordlineCells
+
+__all__ = ["CellChip"]
+
+
+@dataclass
+class CellChip:
+    """A tiny chip of cell-exact blocks.
+
+    Attributes:
+        coding: Conventional coding programmed into new wordlines.
+        num_blocks: Blocks on the chip.
+        wordlines_per_block: Wordlines per block.
+        cells_per_wordline: Cells (bits per page) per wordline.
+    """
+
+    coding: GrayCoding
+    num_blocks: int = 4
+    wordlines_per_block: int = 8
+    cells_per_wordline: int = 64
+    _blocks: list[list[WordlineCells]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.num_blocks, self.wordlines_per_block, self.cells_per_wordline) < 1:
+            raise ValueError("chip dimensions must be positive")
+        self._blocks = [
+            [
+                WordlineCells(self.coding, self.cells_per_wordline)
+                for _ in range(self.wordlines_per_block)
+            ]
+            for _ in range(self.num_blocks)
+        ]
+
+    def wordline(self, block: int, wordline: int) -> WordlineCells:
+        return self._blocks[block][wordline]
+
+    def program_wordline(
+        self, block: int, wordline: int, pages: list[np.ndarray]
+    ) -> None:
+        """Program all page types of one wordline (LSB page first)."""
+        self.wordline(block, wordline).program(pages)
+
+    def read_page(self, block: int, wordline: int, bit: int) -> np.ndarray:
+        """Read one page by boundary sensing."""
+        return self.wordline(block, wordline).read_page(bit)
+
+    def page_senses(self, block: int, wordline: int, bit: int) -> int:
+        """Senses the given page read currently needs."""
+        return self.wordline(block, wordline).senses(bit)
+
+    def adjust_wordline(
+        self, block: int, wordline: int, valid_bits: tuple[int, ...]
+    ) -> IdaTransform:
+        """Apply the IDA voltage adjustment to one wordline."""
+        return self.wordline(block, wordline).apply_ida(valid_bits)
+
+    def erase_block(self, block: int) -> None:
+        """Erase every wordline of a block."""
+        for cells in self._blocks[block]:
+            cells.erase()
+
+    def random_pages(
+        self, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Random page data for one wordline (one array per page type)."""
+        return [
+            rng.integers(0, 2, self.cells_per_wordline, dtype=np.int8)
+            for _ in range(self.coding.bits)
+        ]

@@ -1,0 +1,186 @@
+"""Continuous threshold-voltage distribution model.
+
+The coding layer treats voltage states as symbols; this module gives them
+physical extent.  Each state is a Gaussian threshold-voltage distribution
+(ISPP programming noise); retention loss shifts and widens programmed
+states downward over time (charge leakage), and program disturb injects
+charge into neighbours.  Reading with voltage ``V`` misclassifies the
+cells whose threshold crossed to the wrong side — integrating the tails
+yields the raw bit error rate, which is where the numbers consumed by
+:class:`repro.flash.errors.RberModel` and the LDPC retry model come from
+(Cai et al.'s characterisation methodology [23], [34]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["StateDistribution", "VoltageModel"]
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class StateDistribution:
+    """One voltage state's threshold distribution, N(mean, sigma^2)."""
+
+    mean_v: float
+    sigma_v: float
+
+    def __post_init__(self) -> None:
+        if self.sigma_v <= 0:
+            raise ValueError("sigma_v must be positive")
+
+    def prob_above(self, read_voltage: float) -> float:
+        """Probability a cell in this state reads as above ``read_voltage``."""
+        return 1.0 - _phi((read_voltage - self.mean_v) / self.sigma_v)
+
+    def prob_below(self, read_voltage: float) -> float:
+        return _phi((read_voltage - self.mean_v) / self.sigma_v)
+
+    def shifted(self, delta_v: float, widen: float = 0.0) -> "StateDistribution":
+        """The distribution after a mean shift and optional widening."""
+        return StateDistribution(self.mean_v + delta_v, self.sigma_v + widen)
+
+
+@dataclass(frozen=True)
+class VoltageModel:
+    """Threshold-voltage window of a multi-level cell.
+
+    States are evenly spaced across ``[erased_mean_v, top_mean_v]``; the
+    erased state is wider (erase spreads thresholds), programmed states
+    share a tighter ISPP sigma.
+
+    The erased state sits deep below the programmed window (erase pushes
+    thresholds strongly negative); programmed states are evenly spaced
+    across ``[first_programmed_v, top_mean_v]``.
+
+    Attributes:
+        num_states: 2**bits voltage states.
+        erased_mean_v: Mean of the (wide) erased distribution.
+        first_programmed_v / top_mean_v: Programmed-window endpoints.
+        program_sigma_v: ISPP placement noise of programmed states.
+        erased_sigma_v: Spread of the erased state.
+        retention_shift_v_per_day: Downward drift of programmed means.
+        retention_widen_v_per_day: Sigma growth with retention.
+    """
+
+    num_states: int = 8
+    erased_mean_v: float = -3.5
+    first_programmed_v: float = 0.5
+    top_mean_v: float = 4.0
+    program_sigma_v: float = 0.06
+    erased_sigma_v: float = 0.35
+    retention_shift_v_per_day: float = 0.0015
+    retention_widen_v_per_day: float = 0.0004
+
+    def __post_init__(self) -> None:
+        if self.num_states < 2:
+            raise ValueError("need at least two states")
+        if not self.erased_mean_v < self.first_programmed_v <= self.top_mean_v:
+            raise ValueError("voltage window is empty or inverted")
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    def state_mean_v(self, state: int) -> float:
+        if not 0 <= state < self.num_states:
+            raise IndexError(f"state {state} out of range")
+        if state == 0:
+            return self.erased_mean_v
+        if self.num_states == 2:
+            return self.top_mean_v
+        step = (self.top_mean_v - self.first_programmed_v) / (self.num_states - 2)
+        return self.first_programmed_v + (state - 1) * step
+
+    def distribution(
+        self, state: int, retention_days: float = 0.0
+    ) -> StateDistribution:
+        """Distribution of ``state`` after ``retention_days`` of ageing.
+
+        The erased state neither drifts nor widens (no stored charge to
+        leak); programmed states drift down proportionally to how much
+        charge they hold (higher states leak faster).
+        """
+        if retention_days < 0:
+            raise ValueError("retention_days must be non-negative")
+        if state == 0:
+            return StateDistribution(self.state_mean_v(0), self.erased_sigma_v)
+        charge_factor = state / (self.num_states - 1)
+        shift = -self.retention_shift_v_per_day * retention_days * charge_factor
+        widen = self.retention_widen_v_per_day * retention_days
+        return StateDistribution(
+            self.state_mean_v(state), self.program_sigma_v
+        ).shifted(shift, widen)
+
+    def read_voltage(self, boundary: int) -> float:
+        """Read voltage ``V_boundary`` placed midway between neighbours.
+
+        ``boundary`` follows the paper's 1-based V1..V7 convention:
+        ``V_i`` separates state ``i-1`` from state ``i``.
+        """
+        if not 1 <= boundary < self.num_states:
+            raise IndexError(f"boundary {boundary} out of range")
+        return 0.5 * (self.state_mean_v(boundary - 1) + self.state_mean_v(boundary))
+
+    # ------------------------------------------------------------------
+    # Error rates
+    # ------------------------------------------------------------------
+    def misread_probability(
+        self, state: int, boundary: int, retention_days: float = 0.0
+    ) -> float:
+        """Probability the sense at ``V_boundary`` misclassifies ``state``."""
+        dist = self.distribution(state, retention_days)
+        voltage = self.read_voltage(boundary)
+        if state < boundary:
+            return dist.prob_above(voltage)  # should have been below
+        return dist.prob_below(voltage)
+
+    def raw_bit_error_rate(self, retention_days: float = 0.0) -> float:
+        """Average per-sense misread probability over all states/boundaries.
+
+        Each state is bounded by at most two read voltages; averaging the
+        tail masses over a uniform state distribution gives the RBER a
+        single sense contributes — the physical counterpart of
+        :class:`repro.flash.errors.RberModel`'s fitted curve.
+        """
+        total = 0.0
+        count = 0
+        for state in range(self.num_states):
+            for boundary in (state, state + 1):
+                if 1 <= boundary < self.num_states:
+                    total += self.misread_probability(
+                        state, boundary, retention_days
+                    )
+                    count += 1
+        return total / count if count else 0.0
+
+    def merged(self, kept_states: tuple[int, ...]) -> "VoltageModel":
+        """A model restricted to the IDA-merged state set.
+
+        The suffix merges the IDA transform produces keep *adjacent* top
+        states (Fig. 5's S5..S8), so the inter-state margins are exactly
+        the original ones: the reprogrammed cell is no less readable than
+        before — the basis of the paper's claim that IDA does not trade
+        reliability (the risk it mitigates is the *disturb during
+        adjustment*, handled by the refresh's ECC path instead).
+        """
+        if len(kept_states) < 2:
+            raise ValueError("need at least two kept states")
+        ordered = tuple(sorted(kept_states))
+        low = self.state_mean_v(ordered[0])
+        high = self.state_mean_v(ordered[-1])
+        return VoltageModel(
+            num_states=len(ordered),
+            erased_mean_v=low,
+            first_programmed_v=self.state_mean_v(ordered[1]),
+            top_mean_v=high,
+            program_sigma_v=self.program_sigma_v,
+            erased_sigma_v=self.program_sigma_v,
+            retention_shift_v_per_day=self.retention_shift_v_per_day,
+            retention_widen_v_per_day=self.retention_widen_v_per_day,
+        )

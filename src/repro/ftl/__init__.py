@@ -1,0 +1,41 @@
+"""FTL substrate: mapping, allocation, GC, refresh, orchestration."""
+
+from .allocation import StaticAllocator, cwdp_order, pdwc_order
+from .blockstatus import BlockStatusTable
+from .ftl import Ftl, FtlCounters, WriteResult
+from .gc import GcPolicy, select_victim
+from .mapping import PageMap
+from .ops import OpKind, PhysOp
+from .refresh import (
+    RefreshMode,
+    RefreshPlan,
+    RefreshPolicy,
+    RefreshReport,
+    WordlinePlan,
+    plan_refresh,
+)
+from .wear import WearStats, collect_wear, write_amplification
+
+__all__ = [
+    "StaticAllocator",
+    "cwdp_order",
+    "pdwc_order",
+    "BlockStatusTable",
+    "Ftl",
+    "FtlCounters",
+    "WriteResult",
+    "GcPolicy",
+    "select_victim",
+    "PageMap",
+    "OpKind",
+    "PhysOp",
+    "RefreshMode",
+    "RefreshPlan",
+    "RefreshPolicy",
+    "RefreshReport",
+    "WordlinePlan",
+    "plan_refresh",
+    "WearStats",
+    "collect_wear",
+    "write_amplification",
+]

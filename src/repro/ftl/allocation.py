@@ -1,0 +1,66 @@
+"""Static page-allocation strategies (Jung & Kandemir [26]).
+
+The baseline FTL stripes consecutive page writes across the device in
+**CWDP** order — Channel first, then Chip (Way), then Die, then Plane — so
+sequential I/O exploits channel-level parallelism before anything else.
+Alternate orders are provided for the allocation-strategy ablation bench.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..flash.geometry import Geometry
+
+__all__ = ["StaticAllocator", "cwdp_order", "pdwc_order"]
+
+
+def cwdp_order(geometry: Geometry) -> list[int]:
+    """Linear plane numbers in CWDP stripe order (channel varies fastest)."""
+    sequence = []
+    for plane, die, chip, channel in product(
+        range(geometry.planes_per_die),
+        range(geometry.dies_per_chip),
+        range(geometry.chips_per_channel),
+        range(geometry.channels),
+    ):
+        sequence.append(geometry.plane_index(channel, chip, die, plane))
+    return sequence
+
+
+def pdwc_order(geometry: Geometry) -> list[int]:
+    """Plane-first stripe order (the opposite extreme, for ablation)."""
+    sequence = []
+    for channel, chip, die, plane in product(
+        range(geometry.channels),
+        range(geometry.chips_per_channel),
+        range(geometry.dies_per_chip),
+        range(geometry.planes_per_die),
+    ):
+        sequence.append(geometry.plane_index(channel, chip, die, plane))
+    return sequence
+
+
+class StaticAllocator:
+    """Round-robin plane selection following a fixed stripe order.
+
+    Attributes:
+        order: Linear plane numbers in stripe order.
+    """
+
+    def __init__(self, geometry: Geometry, strategy: str = "cwdp") -> None:
+        builders = {"cwdp": cwdp_order, "pdwc": pdwc_order}
+        if strategy not in builders:
+            raise ValueError(
+                f"unknown allocation strategy {strategy!r}; "
+                f"choose from {sorted(builders)}"
+            )
+        self.strategy = strategy
+        self.order = builders[strategy](geometry)
+        self._cursor = 0
+
+    def next_plane(self) -> int:
+        """Linear plane number the next page write should land on."""
+        plane = self.order[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.order)
+        return plane

@@ -1,0 +1,88 @@
+"""The device-wide block status table (Sec. III-C).
+
+The paper stresses that IDA needs *no new* validity tracking — it reuses
+the FTL's existing block status table, extended by one bit per block
+(conventional vs IDA) and one mode bit per wordline.  This class owns all
+:class:`~repro.flash.block.Block` records plus the per-plane pools, and
+answers the queries the rest of the FTL makes: page validity, wordline
+validity, sense counts, and block-level aggregates.
+"""
+
+from __future__ import annotations
+
+from ..core.coding import GrayCoding
+from ..flash.block import Block, SenseTable
+from ..flash.geometry import Geometry
+from ..flash.plane import PlanePool
+
+__all__ = ["BlockStatusTable"]
+
+
+class BlockStatusTable:
+    """All block state of the device, indexed linearly and per plane."""
+
+    def __init__(self, geometry: Geometry, coding: GrayCoding) -> None:
+        if coding.bits != geometry.bits_per_cell:
+            raise ValueError(
+                f"coding has {coding.bits} bits/cell but geometry expects "
+                f"{geometry.bits_per_cell}"
+            )
+        self.geometry = geometry
+        self.coding = coding
+        self.sense_table = SenseTable(coding)
+        self.blocks: list[Block] = [
+            Block(
+                index=index,
+                pages_per_block=geometry.pages_per_block,
+                bits_per_cell=geometry.bits_per_cell,
+            )
+            for index in range(geometry.total_blocks)
+        ]
+        self.planes: list[PlanePool] = []
+        for plane_index in range(geometry.total_planes):
+            start = plane_index * geometry.blocks_per_plane
+            end = start + geometry.blocks_per_plane
+            self.planes.append(PlanePool(plane_index, self.blocks[start:end]))
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def block(self, block_index: int) -> Block:
+        return self.blocks[block_index]
+
+    def block_of_ppn(self, ppn: int) -> tuple[Block, int]:
+        """(block, page-in-block) of a physical page number."""
+        block_index, page = self.geometry.decompose_page(ppn)
+        return self.blocks[block_index], page
+
+    def plane_of_block(self, block_index: int) -> PlanePool:
+        return self.planes[self.geometry.plane_of_block(block_index)]
+
+    def senses_for_ppn(self, ppn: int) -> int:
+        """Memory senses a read of this physical page currently needs."""
+        block, page = self.block_of_ppn(ppn)
+        return block.senses_for(self.sense_table, page)
+
+    def wordline_validity_of_ppn(self, ppn: int) -> tuple[bool, ...]:
+        block, page = self.block_of_ppn(ppn)
+        return block.wordline_validity(block.wordline_of(page))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def in_use_blocks(self) -> int:
+        """Blocks holding any programmed pages (Sec. III-C accounting)."""
+        return sum(1 for block in self.blocks if block.next_page > 0)
+
+    def ida_blocks(self) -> int:
+        """Blocks currently carrying IDA-reprogrammed wordlines."""
+        return sum(1 for block in self.blocks if block.is_ida)
+
+    def total_valid_pages(self) -> int:
+        return sum(block.valid_count for block in self.blocks)
+
+    def total_erases(self) -> int:
+        return sum(block.erase_count for block in self.blocks)
+
+    def free_blocks(self) -> int:
+        return sum(pool.free_count for pool in self.planes)

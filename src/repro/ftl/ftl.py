@@ -1,0 +1,314 @@
+"""The flash translation layer: host I/O, GC, and (IDA-modified) refresh.
+
+The FTL applies logical state transitions eagerly at dispatch time and
+emits :class:`~repro.ftl.ops.PhysOp` lists for the simulator to push
+through the contended die/channel resources.  This mirrors the paper's
+DiskSim methodology: FTL decisions are instantaneous metadata updates; all
+*time* is spent in the flash-operation queues.
+
+Host writes invalidate the previous copy and program the next page of the
+stripe-selected plane's active block (CWDP allocation [26]).  GC runs when
+a plane's free blocks fall below the policy watermark.  The refresh daemon
+(driven by the simulator clock) scans for blocks older than the refresh
+period and executes either the baseline remapping flow or the IDA flow of
+Fig. 7 — see :mod:`repro.ftl.refresh` for the planning logic and
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.coding import GrayCoding
+from ..flash.block import CONVENTIONAL_WL, Block
+from ..flash.errors import AdjustDisturbModel
+from ..flash.geometry import Geometry
+from ..flash.plane import PlanePool
+from .allocation import StaticAllocator
+from .blockstatus import BlockStatusTable
+from .gc import GcPolicy, select_victim
+from .mapping import PageMap
+from .ops import OpKind, PhysOp
+from .refresh import RefreshMode, RefreshPolicy, RefreshReport, plan_refresh
+
+__all__ = ["Ftl", "WriteResult", "FtlCounters"]
+
+
+@dataclass
+class WriteResult:
+    """Physical work implied by one host page write.
+
+    Attributes:
+        host_ops: The page program itself.
+        internal_ops: Any GC work the allocation triggered.
+    """
+
+    host_ops: list[PhysOp] = field(default_factory=list)
+    internal_ops: list[PhysOp] = field(default_factory=list)
+
+
+@dataclass
+class FtlCounters:
+    """FTL-internal event counters, merged into the run metrics."""
+
+    gc_invocations: int = 0
+    gc_page_moves: int = 0
+    block_erases: int = 0
+    refresh_invocations: int = 0
+    refresh_page_moves: int = 0
+    refresh_adjusted_wordlines: int = 0
+    refresh_reprogrammed_pages: int = 0
+    refresh_corrupted_pages: int = 0
+    host_writes: int = 0
+    host_reads: int = 0
+    unmapped_reads: int = 0
+
+
+class Ftl:
+    """Page-mapping FTL with GREEDY GC and (IDA-)refresh.
+
+    Args:
+        geometry: Device topology.
+        coding: The conventional cell coding.
+        refresh_policy: Refresh flow, period and disturb rate.
+        gc_policy: GC watermarks.
+        rng: Seeded generator driving the adjustment-disturb sampling.
+        allocation: Static allocation strategy name ("cwdp" or "pdwc").
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        coding: GrayCoding,
+        refresh_policy: RefreshPolicy,
+        gc_policy: GcPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        allocation: str = "cwdp",
+    ) -> None:
+        self.geometry = geometry
+        self.coding = coding
+        self.refresh_policy = refresh_policy
+        self.gc_policy = gc_policy or GcPolicy()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.table = BlockStatusTable(geometry, coding)
+        self.map = PageMap()
+        self.allocator = StaticAllocator(geometry, allocation)
+        self.disturb = AdjustDisturbModel(refresh_policy.error_rate)
+        self.counters = FtlCounters()
+        self.refresh_reports: list[RefreshReport] = []
+
+    # ------------------------------------------------------------------
+    # Host path
+    # ------------------------------------------------------------------
+    def host_read(self, lpn: int, now_us: float) -> PhysOp:
+        """Resolve one host page read to a physical read op.
+
+        Reads of never-written LPNs (cold trace prefixes) are auto-mapped
+        by an untimed fill write and counted in
+        ``counters.unmapped_reads``.
+        """
+        self.counters.host_reads += 1
+        ppn = self.map.lookup(lpn)
+        if ppn is None:
+            self.counters.unmapped_reads += 1
+            self._program_page(lpn, now_us, [])
+            ppn = self.map.lookup(lpn)
+            assert ppn is not None
+        block, page = self.table.block_of_ppn(ppn)
+        wordline = block.wordline_of(page)
+        mode = block.wl_mode(wordline)
+        return PhysOp(
+            kind=OpKind.READ,
+            block_index=block.index,
+            page=page,
+            senses=block.senses_for(self.table.sense_table, page),
+            bit=block.bit_of(page),
+            wl_validity=block.wordline_validity(wordline),
+            from_ida=mode != CONVENTIONAL_WL,
+        )
+
+    def host_write(self, lpn: int, now_us: float) -> WriteResult:
+        """Apply one host page write; returns the implied physical work."""
+        self.counters.host_writes += 1
+        result = WriteResult()
+        write_op = self._program_page(lpn, now_us, result.internal_ops)
+        result.host_ops.append(write_op)
+        return result
+
+    def write_untimed(self, lpn: int, pseudo_now_us: float) -> None:
+        """Preconditioning write: full logical effect, no timed ops.
+
+        ``pseudo_now_us`` may be negative — warm-up fills are spread over
+        the interval before the trace starts so block refresh ages (and
+        hence refresh events) stagger naturally.
+        """
+        self._program_page(lpn, pseudo_now_us, [])
+
+    # ------------------------------------------------------------------
+    # Refresh daemon
+    # ------------------------------------------------------------------
+    def check_refresh(self, now_us: float) -> list[PhysOp]:
+        """Refresh every full block older than the policy period."""
+        ops: list[PhysOp] = []
+        for pool in self.table.planes:
+            # Snapshot: refreshing mutates pool membership via GC/allocation.
+            for block in list(pool.used_blocks()):
+                if not block.is_full or block.valid_count == 0:
+                    continue
+                age_start = block.programmed_at_us
+                if age_start is None:
+                    continue
+                if now_us - age_start < self.refresh_policy.period_us:
+                    continue
+                ops.extend(self._refresh_block(block, now_us))
+        return ops
+
+    def _refresh_block(self, block: Block, now_us: float) -> list[PhysOp]:
+        ops: list[PhysOp] = []
+        self.counters.refresh_invocations += 1
+        block.locked = True
+        plan = plan_refresh(block, self.refresh_policy.mode)
+        report = RefreshReport(block.index, n_valid=len(plan.valid_pages))
+
+        # Step 1-2 of Fig. 7: read + ECC-decode every valid page.
+        for page in plan.valid_pages:
+            ops.append(self._internal_read_op(block, page))
+
+        # Step 3: move the pages that cannot benefit from IDA.
+        for page in plan.moves:
+            ops.append(self._move_page(block, page, now_us, ops))
+            report.n_moved += 1
+            self.counters.refresh_page_moves += 1
+
+        # Step 4: voltage-adjust the IDA wordlines.
+        kept_pages: list[int] = []
+        for wl_plan in plan.adjusted_wordlines:
+            start_bit = wl_plan.decision.adjust_bits[0]
+            block.set_wordline_ida(wl_plan.wordline, start_bit)
+            ops.append(PhysOp(kind=OpKind.ADJUST, block_index=block.index))
+            report.n_adjusted_wordlines += 1
+            self.counters.refresh_adjusted_wordlines += 1
+            kept_pages.extend(wl_plan.pages_to_keep)
+
+        # Step 5-6: re-read the reprogrammed pages to check for disturb.
+        report.n_target = len(kept_pages)
+        self.counters.refresh_reprogrammed_pages += len(kept_pages)
+        for page in kept_pages:
+            ops.append(self._internal_read_op(block, page))
+
+        # Step 7-8: corrupted pages get their error-free copy written to
+        # the new block; clean pages stay in place.
+        corrupted = self.disturb.corrupted_pages(self.rng, kept_pages)
+        for page in corrupted:
+            ops.append(self._move_page(block, page, now_us, ops))
+        report.n_error = len(corrupted)
+        self.counters.refresh_corrupted_pages += len(corrupted)
+
+        if plan.adjusted_wordlines and block.valid_count > 0:
+            # The block lives on as an IDA block; restart its age so the
+            # next refresh cycle force-reclaims it (Sec. III-C).
+            block.programmed_at_us = now_us
+        block.locked = False
+        self.refresh_reports.append(report)
+        return ops
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _internal_read_op(self, block: Block, page: int) -> PhysOp:
+        return PhysOp(
+            kind=OpKind.READ,
+            block_index=block.index,
+            page=page,
+            senses=block.senses_for(self.table.sense_table, page),
+            bit=block.bit_of(page),
+        )
+
+    def _program_page(
+        self, lpn: int, now_us: float, internal_ops: list[PhysOp]
+    ) -> PhysOp:
+        """Invalidate the old copy of ``lpn`` and program a new page."""
+        old_ppn = self.map.lookup(lpn)
+        if old_ppn is not None:
+            old_block, old_page = self.table.block_of_ppn(old_ppn)
+            old_block.invalidate(old_page)
+            self.map.unbind(lpn)
+        plane_index = self.allocator.next_plane()
+        pool = self.table.planes[plane_index]
+        self._ensure_free_blocks(pool, now_us, internal_ops)
+        block = pool.active_block(now_us)
+        page = block.program_next(now_us)
+        pool.retire_active()
+        ppn = self.geometry.page_number(block.index, page)
+        self.map.bind(lpn, ppn)
+        return PhysOp(kind=OpKind.WRITE, block_index=block.index, page=page)
+
+    def _move_page(
+        self,
+        source: Block,
+        page: int,
+        now_us: float,
+        internal_ops: list[PhysOp],
+    ) -> PhysOp:
+        """Relocate one valid page to a freshly-allocated page."""
+        old_ppn = self.geometry.page_number(source.index, page)
+        plane_index = self.allocator.next_plane()
+        pool = self.table.planes[plane_index]
+        self._ensure_free_blocks(pool, now_us, internal_ops)
+        dest = pool.active_block(now_us)
+        dest_page = dest.program_next(now_us)
+        pool.retire_active()
+        new_ppn = self.geometry.page_number(dest.index, dest_page)
+        self.map.rebind_physical(old_ppn, new_ppn)
+        source.invalidate(page)
+        return PhysOp(kind=OpKind.WRITE, block_index=dest.index, page=dest_page)
+
+    def _ensure_free_blocks(
+        self, pool: PlanePool, now_us: float, internal_ops: list[PhysOp]
+    ) -> None:
+        """Run GC on ``pool`` until its free count clears the watermark."""
+        if pool.free_count >= self.gc_policy.low_watermark:
+            return
+        while pool.free_count < self.gc_policy.target_free:
+            victim = select_victim(pool)
+            if victim is None:
+                if pool.free_count >= 1:
+                    return  # nothing reclaimable yet, but not wedged
+                raise RuntimeError(
+                    f"plane {pool.plane_index} wedged: no free blocks and "
+                    "no GC victim"
+                )
+            if victim.valid_count >= victim.pages_per_block:
+                raise RuntimeError(
+                    f"plane {pool.plane_index} full of valid data; "
+                    "workload footprint exceeds usable capacity"
+                )
+            internal_ops.extend(self._gc_block(victim, pool, now_us))
+
+    def _gc_block(
+        self, victim: Block, pool: PlanePool, now_us: float
+    ) -> list[PhysOp]:
+        """Reclaim one victim block (GREEDY wear-aware GC)."""
+        ops: list[PhysOp] = []
+        self.counters.gc_invocations += 1
+        for page in victim.valid_pages():
+            ops.append(self._internal_read_op(victim, page))
+            old_ppn = self.geometry.page_number(victim.index, page)
+            dest = pool.active_block(now_us)
+            dest_page = dest.program_next(now_us)
+            pool.retire_active()
+            new_ppn = self.geometry.page_number(dest.index, dest_page)
+            self.map.rebind_physical(old_ppn, new_ppn)
+            victim.invalidate(page)
+            ops.append(
+                PhysOp(kind=OpKind.WRITE, block_index=dest.index, page=dest_page)
+            )
+            self.counters.gc_page_moves += 1
+        in_plane = victim.index - pool.plane_index * self.geometry.blocks_per_plane
+        victim.erase()
+        pool.release(in_plane)
+        ops.append(PhysOp(kind=OpKind.ERASE, block_index=victim.index))
+        self.counters.block_erases += 1
+        return ops

@@ -1,0 +1,76 @@
+"""Page-level address translation.
+
+A straightforward page-mapping FTL table: logical page number (LPN) to
+physical page number (PPN) plus the reverse map GC and refresh need to
+find the owner of a physical page they are about to move.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PageMap"]
+
+
+class PageMap:
+    """Bidirectional LPN <-> PPN map.
+
+    Invariant (property-tested): the forward and reverse maps are exact
+    inverses at all times.
+    """
+
+    def __init__(self) -> None:
+        self._forward: dict[int, int] = {}
+        self._reverse: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._forward
+
+    def lookup(self, lpn: int) -> int | None:
+        """PPN currently holding ``lpn``, or None when unmapped."""
+        return self._forward.get(lpn)
+
+    def owner(self, ppn: int) -> int | None:
+        """LPN stored at ``ppn``, or None when the page holds no live data."""
+        return self._reverse.get(ppn)
+
+    def bind(self, lpn: int, ppn: int) -> int | None:
+        """Map ``lpn`` to ``ppn``; returns the displaced old PPN (if any).
+
+        Raises:
+            ValueError: if ``ppn`` already holds another LPN's data.
+        """
+        current_owner = self._reverse.get(ppn)
+        if current_owner is not None and current_owner != lpn:
+            raise ValueError(
+                f"PPN {ppn} already holds LPN {current_owner}"
+            )
+        old_ppn = self._forward.get(lpn)
+        if old_ppn is not None:
+            del self._reverse[old_ppn]
+        self._forward[lpn] = ppn
+        self._reverse[ppn] = lpn
+        return old_ppn
+
+    def unbind(self, lpn: int) -> int | None:
+        """Drop ``lpn``'s mapping; returns the freed PPN (if any)."""
+        ppn = self._forward.pop(lpn, None)
+        if ppn is not None:
+            del self._reverse[ppn]
+        return ppn
+
+    def rebind_physical(self, old_ppn: int, new_ppn: int) -> int:
+        """Move live data from ``old_ppn`` to ``new_ppn`` (GC / refresh).
+
+        Returns:
+            The LPN that moved.
+
+        Raises:
+            KeyError: if ``old_ppn`` holds no live data.
+        """
+        lpn = self._reverse[old_ppn]
+        del self._reverse[old_ppn]
+        self._forward[lpn] = new_ppn
+        self._reverse[new_ppn] = lpn
+        return lpn

@@ -1,0 +1,49 @@
+"""Physical operation descriptors the FTL emits for the simulator to time.
+
+The FTL applies *logical* state transitions (mapping updates, validity
+flips, wordline-mode changes) immediately, and hands the simulator a list
+of :class:`PhysOp` records describing the physical work those transitions
+imply.  The simulator routes each op through the contended die / channel
+resources, which is where all queueing behaviour comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["OpKind", "PhysOp"]
+
+
+class OpKind(Enum):
+    """Physical flash operations."""
+
+    READ = "read"
+    WRITE = "write"
+    ADJUST = "adjust"
+    ERASE = "erase"
+
+
+@dataclass(frozen=True)
+class PhysOp:
+    """One physical operation to be timed by the simulator.
+
+    Attributes:
+        kind: Operation type.
+        block_index: Linear block number the op targets.
+        page: Page-in-block for READ/WRITE; ``None`` for ADJUST/ERASE.
+        senses: Memory senses a READ needs (drives its latency).
+        bit: Page type of a READ (0 = LSB), for read-mix accounting.
+        wl_validity: Wordline validity snapshot at dispatch, for Fig. 4
+            accounting (READ only).
+        from_ida: Whether a READ is served from an IDA-reprogrammed
+            wordline.
+    """
+
+    kind: OpKind
+    block_index: int
+    page: int | None = None
+    senses: int = 0
+    bit: int | None = None
+    wl_validity: tuple[bool, ...] | None = None
+    from_ida: bool = False

@@ -1,0 +1,207 @@
+"""Data refresh: the baseline remapping refresh and the IDA-modified one.
+
+Refresh (a.k.a. data scrub, Cai et al. [23]) periodically relocates aging
+data before retention errors accumulate.  The baseline flow (Fig. 7a)
+reads every valid page of a target block, ECC-corrects it, and writes it
+into a new block; the target block is then empty of valid data and is
+reclaimed by GC later.
+
+The IDA-modified flow (Fig. 7b) instead classifies every wordline
+(Table I, :func:`repro.core.cases.classify_validity`):
+
+* wordlines whose MSB is valid keep their slow pages in place — any valid
+  lower pages blocking the merge are moved out, the wordline is
+  voltage-adjusted, and the kept pages are re-read and ECC-checked; the
+  fraction ``error_rate`` of them come back disturbed and their error-free
+  copies are written to the new block instead (the E-knob of Sec. V-B);
+* all other wordlines are handled exactly like the baseline.
+
+This module *plans* a refresh (pure function of the block state) and
+defines the accounting record behind Table IV; the FTL executes plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..core.cases import WordlineDecision, classify_validity
+from ..flash.block import Block, PageState
+
+__all__ = [
+    "RefreshMode",
+    "RefreshPolicy",
+    "RefreshReport",
+    "WordlinePlan",
+    "RefreshPlan",
+    "plan_refresh",
+]
+
+
+class RefreshMode(Enum):
+    """Which refresh flow the FTL runs."""
+
+    BASELINE = "baseline"
+    IDA = "ida"
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """Refresh configuration.
+
+    Attributes:
+        mode: Baseline or IDA-modified flow.
+        period_us: Age at which a block becomes due for refresh.  The
+            paper uses 3 days to 3 months depending on the workload; the
+            experiment configs scale this to the trace duration.
+        check_interval_us: How often the refresh daemon scans for due
+            blocks.
+        error_rate: Fraction of IDA-kept pages disturbed by the voltage
+            adjustment (the IDA-E{x} knob; ignored by BASELINE).
+    """
+
+    mode: RefreshMode = RefreshMode.BASELINE
+    period_us: float = 24 * 3600 * 1e6  # one simulated day
+    check_interval_us: float = 0.0  # 0 -> period / 16
+    error_rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError("period_us must be positive")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+
+    @property
+    def scan_interval_us(self) -> float:
+        return self.check_interval_us if self.check_interval_us > 0 else self.period_us / 16
+
+
+@dataclass
+class RefreshReport:
+    """Per-block refresh accounting — the raw material of Table IV.
+
+    In the paper's notation: ``n_valid`` = N_valid, ``n_target`` =
+    N_target (pages reprogrammed by IDA), ``n_error`` = N_error (pages
+    corrupted by the adjustment and written back).  The baseline refresh
+    performs N_valid reads and N_valid writes; the modified refresh adds
+    N_target reads (the post-adjustment integrity check) and replaces the
+    writes of kept pages, for a total of N_valid + N_error writes minus
+    the N_target - N_error kept in place.
+    """
+
+    block_index: int
+    n_valid: int = 0
+    n_moved: int = 0
+    n_target: int = 0
+    n_error: int = 0
+    n_adjusted_wordlines: int = 0
+
+    @property
+    def extra_reads(self) -> int:
+        """Reads beyond the baseline refresh (= N_target)."""
+        return self.n_target
+
+    @property
+    def extra_writes(self) -> int:
+        """Writes beyond the pages that had to move anyway (= N_error)."""
+        return self.n_error
+
+    @property
+    def total_reads(self) -> int:
+        return self.n_valid + self.n_target
+
+    @property
+    def total_writes(self) -> int:
+        return self.n_moved + self.n_error
+
+
+@dataclass(frozen=True)
+class WordlinePlan:
+    """Planned treatment of one wordline during an IDA refresh.
+
+    Attributes:
+        wordline: Wordline index within the block.
+        decision: The Table I classification.
+        pages_to_move: Page-in-block indices to write to the new block.
+        pages_to_keep: Page-in-block indices kept through the adjustment.
+    """
+
+    wordline: int
+    decision: WordlineDecision
+    pages_to_move: tuple[int, ...]
+    pages_to_keep: tuple[int, ...]
+
+
+@dataclass
+class RefreshPlan:
+    """Full plan for refreshing one block."""
+
+    block_index: int
+    mode: RefreshMode
+    valid_pages: list[int] = field(default_factory=list)
+    wordlines: list[WordlinePlan] = field(default_factory=list)
+
+    @property
+    def moves(self) -> list[int]:
+        """All page-in-block indices written to the new block."""
+        return [page for wl in self.wordlines for page in wl.pages_to_move]
+
+    @property
+    def kept(self) -> list[int]:
+        """All page-in-block indices kept in place (IDA targets)."""
+        return [page for wl in self.wordlines for page in wl.pages_to_keep]
+
+    @property
+    def adjusted_wordlines(self) -> list[WordlinePlan]:
+        """Wordlines that will actually be voltage-adjusted.
+
+        A wordline is adjusted only when it keeps pages in place; in a
+        full-move plan (baseline mode, or reclaiming an old IDA block) no
+        wordline qualifies even if its Table I case is 1-4.
+        """
+        return [wl for wl in self.wordlines if wl.pages_to_keep]
+
+
+def plan_refresh(block: Block, mode: RefreshMode) -> RefreshPlan:
+    """Plan the refresh of ``block`` without mutating anything.
+
+    Baseline mode — and any block that was *already* IDA-reprogrammed
+    (the paper forces IDA blocks to be fully reclaimed at their next
+    refresh cycle, Sec. III-C) — moves every valid page.  IDA mode
+    classifies each wordline per Table I.
+    """
+    plan = RefreshPlan(block_index=block.index, mode=mode)
+    plan.valid_pages = block.valid_pages()
+    bits = block.bits_per_cell
+
+    full_move = mode is RefreshMode.BASELINE or block.is_ida
+    for wordline in range(block.wordlines):
+        base = wordline * bits
+        validity = block.wordline_validity(wordline)
+        valid_here = tuple(base + b for b in range(bits) if validity[b])
+        if not valid_here:
+            continue
+        if full_move:
+            plan.wordlines.append(
+                WordlinePlan(
+                    wordline=wordline,
+                    decision=classify_validity(validity),
+                    pages_to_move=valid_here,
+                    pages_to_keep=(),
+                )
+            )
+            continue
+        decision = classify_validity(validity)
+        if decision.applies_ida:
+            moves = tuple(base + b for b in decision.pages_to_move)
+            keeps = tuple(
+                base + b for b in decision.adjust_bits if validity[b]
+            )
+            plan.wordlines.append(
+                WordlinePlan(wordline, decision, moves, keeps)
+            )
+        else:
+            plan.wordlines.append(
+                WordlinePlan(wordline, decision, valid_here, ())
+            )
+    return plan

@@ -1,0 +1,19 @@
+"""SSD simulator substrate: event engine, resources, metrics, the SSD."""
+
+from .engine import SimEngine
+from .metrics import LatencyStats, ReadMixCounters, SimMetrics
+from .resources import IoPriority, Resource
+from .scheduler import HostRequest, OutstandingRequest
+from .ssd import SsdSimulator
+
+__all__ = [
+    "SimEngine",
+    "LatencyStats",
+    "ReadMixCounters",
+    "SimMetrics",
+    "IoPriority",
+    "Resource",
+    "HostRequest",
+    "OutstandingRequest",
+    "SsdSimulator",
+]

@@ -1,0 +1,83 @@
+"""Deterministic discrete-event engine.
+
+A minimal event loop in the DiskSim tradition: a time-ordered heap of
+callbacks, with a monotone sequence number breaking ties so runs are fully
+deterministic regardless of callback scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["SimEngine"]
+
+
+class SimEngine:
+    """Discrete-event simulation clock and queue.
+
+    Time is in microseconds (float).  Events fire in (time, insertion)
+    order; callbacks may schedule further events.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._processed = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Raises:
+            ValueError: if ``time`` lies in the past.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} (now is {self.now})"
+            )
+        heapq.heappush(self._queue, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.at(self.now + delay, callback)
+
+    def run(self, until: float | None = None) -> None:
+        """Fire events until the queue empties (or simulated ``until``).
+
+        With ``until`` set, events at times strictly greater are left in
+        the queue and ``now`` advances to ``until``.
+        """
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            self._processed += 1
+            callback()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def step(self) -> bool:
+        """Fire exactly one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self.now = time
+        self._processed += 1
+        callback()
+        return True

@@ -1,0 +1,62 @@
+"""Host request tracking and completion accounting.
+
+A host request fans out into one physical page op per logical page; the
+request completes when its last page op does.  The tracker owns that
+bookkeeping so the simulator's dispatch code stays linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["HostRequest", "OutstandingRequest"]
+
+
+@dataclass(frozen=True)
+class HostRequest:
+    """One host I/O request, already translated to logical pages.
+
+    Attributes:
+        request_id: Monotone id (trace order).
+        arrival_us: Issue time on the simulated clock.
+        is_read: Read vs write.
+        lpns: Logical page numbers the request covers.
+        size_bytes: Transfer size (for throughput accounting).
+    """
+
+    request_id: int
+    arrival_us: float
+    is_read: bool
+    lpns: tuple[int, ...]
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.lpns:
+            raise ValueError("a request must cover at least one page")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+
+class OutstandingRequest:
+    """Completion counter for one in-flight host request."""
+
+    def __init__(
+        self,
+        request: HostRequest,
+        page_ops: int,
+        on_complete: Callable[[HostRequest, float], None],
+    ) -> None:
+        if page_ops < 1:
+            raise ValueError("a request needs at least one page op")
+        self.request = request
+        self._remaining = page_ops
+        self._on_complete = on_complete
+
+    def page_done(self, now_us: float) -> None:
+        """Signal one page op finished; fires completion on the last."""
+        if self._remaining <= 0:
+            raise RuntimeError("request already complete")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._on_complete(self.request, now_us)

@@ -1,0 +1,453 @@
+"""The full SSD simulator: resources, op pipelines, refresh daemon.
+
+Data-path model (Fig. 1 / Sec. II-C):
+
+* **read**: die busy for the memory-access time (sense-count dependent,
+  multiplied by any read-retry passes), then the channel busy for the
+  page transfer, then a fixed ECC-decode latency (the paper's hardware
+  LDPC engines are deeply pipelined, so decode adds latency but no
+  queueing), then the fixed host-interface overhead.
+* **write**: channel busy for the inbound transfer, then die busy for the
+  full ISPP program.
+* **adjust** (IDA voltage adjustment): die busy for one conservative
+  program time per wordline.
+* **erase**: die busy for the erase time.
+
+Scheduling is read-first (Table II): host reads pre-empt *queued* host
+writes and internal traffic at every resource, but in-service operations
+are never suspended.
+
+Approximation note (shared with DiskSim-class simulators): FTL metadata
+transitions are applied eagerly at dispatch, so a page relocated by
+refresh is readable at its new location while the physical moves are
+still queued; the *load* of those moves is fully accounted on the
+resources either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..core.coding import GrayCoding
+from ..flash.errors import ReadRetryModel
+from ..flash.geometry import Geometry
+from ..flash.timing import TimingSpec
+from ..ftl.ftl import Ftl
+from ..ftl.gc import GcPolicy
+from ..ftl.ops import OpKind, PhysOp
+from ..ftl.refresh import RefreshPolicy
+from .engine import SimEngine
+from .metrics import SimMetrics
+from .resources import IoPriority, Resource
+from .scheduler import HostRequest, OutstandingRequest
+
+__all__ = ["SsdSimulator"]
+
+
+@dataclass
+class _NullCompletion:
+    """Completion sink for internal (GC / refresh) operations."""
+
+    count: int = 0
+
+    def __call__(self, start_us: float, end_us: float) -> None:
+        self.count += 1
+
+
+class SsdSimulator:
+    """Event-driven SSD with an (optionally IDA-enabled) FTL.
+
+    Args:
+        geometry: Device topology.
+        timing: Operation latencies.
+        coding: Conventional cell coding.
+        refresh_policy: Baseline or IDA refresh configuration.
+        gc_policy: GC watermarks.
+        retry_model: Per-read retry sampler (Fig. 11 lifetime phases);
+            ``None`` or ``fail_prob = 0`` disables retries.
+        seed: RNG seed for disturb and retry sampling.
+        allocation: Static allocation strategy name.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        timing: TimingSpec,
+        coding: GrayCoding,
+        refresh_policy: RefreshPolicy,
+        gc_policy: GcPolicy | None = None,
+        retry_model: ReadRetryModel | None = None,
+        seed: int = 1,
+        allocation: str = "cwdp",
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self.engine = SimEngine()
+        self.metrics = SimMetrics()
+        self.retry_model = retry_model or ReadRetryModel(fail_prob=0.0)
+        # Common random numbers: host reads draw retry counts from their
+        # own stream, so paired baseline/IDA runs of the same trace see
+        # identical retry sequences (the i-th host page read retries the
+        # same number of times in both systems); internal reads use a
+        # separate stream so their differing op counts cannot skew it.
+        self._host_retry_rng = np.random.default_rng(seed + 101)
+        self._internal_retry_rng = np.random.default_rng(seed + 202)
+        self.ftl = Ftl(
+            geometry,
+            coding,
+            refresh_policy,
+            gc_policy=gc_policy,
+            rng=np.random.default_rng(seed + 1),
+            allocation=allocation,
+        )
+        self.dies = [
+            Resource(self.engine, f"die{d}") for d in range(geometry.total_dies)
+        ]
+        self.channels = [
+            Resource(self.engine, f"chan{c}") for c in range(geometry.channels)
+        ]
+        self._internal_sink = _NullCompletion()
+
+    # ------------------------------------------------------------------
+    # Preconditioning
+    # ------------------------------------------------------------------
+    def preload(
+        self,
+        lpns: Iterable[int],
+        start_us: float,
+        end_us: float,
+    ) -> None:
+        """Untimed fill of the given LPNs, program times spread linearly.
+
+        Spreading program times over ``[start_us, end_us)`` (typically one
+        refresh period before the trace starts) staggers block refresh
+        ages so refresh events do not all fire at once.
+        """
+        lpn_list = list(lpns)
+        if not lpn_list:
+            return
+        span = end_us - start_us
+        step = span / len(lpn_list)
+        for index, lpn in enumerate(lpn_list):
+            self.ftl.write_untimed(lpn, start_us + index * step)
+
+    def age(self, lpns: Iterable[int], pseudo_now_us: float) -> None:
+        """Untimed update writes — creates the invalid lower pages IDA needs."""
+        for lpn in lpns:
+            self.ftl.write_untimed(lpn, pseudo_now_us)
+
+    # ------------------------------------------------------------------
+    # Trace execution
+    # ------------------------------------------------------------------
+    def run_requests(
+        self,
+        requests: list[HostRequest],
+        background_updates: list[tuple[float, list[int]]] | None = None,
+    ) -> SimMetrics:
+        """Run a full host request stream to completion and drain.
+
+        Args:
+            requests: The timed host requests.
+            background_updates: Optional ``(time_us, lpns)`` batches of
+                *untimed* update writes applied at the given simulation
+                times.  This is the trace-sampling device the experiment
+                runner uses: only a subset of a long trace's requests is
+                replayed with timing, but the full update rate is applied
+                logically so page-invalidation state evolves as in the
+                original trace (see DESIGN.md).
+
+        Returns the populated metrics object (also at ``self.metrics``).
+        """
+        if not requests:
+            raise ValueError("empty request stream")
+        ordered = sorted(requests, key=lambda r: r.arrival_us)
+        for request in ordered:
+            self.engine.at(request.arrival_us, self._make_dispatch(request))
+        for time_us, lpns in background_updates or []:
+            self.engine.at(time_us, self._make_background_batch(list(lpns)))
+        trace_end = ordered[-1].arrival_us
+        self._schedule_refresh_daemon(trace_end)
+        self.engine.run()
+        self.metrics.start_us = ordered[0].arrival_us
+        self.metrics.end_us = self.engine.now
+        self._fold_counters()
+        return self.metrics
+
+    def run_closed_loop(
+        self,
+        requests: list[HostRequest],
+        queue_depth: int = 32,
+        background_updates: list[tuple[float, list[int]]] | None = None,
+    ) -> SimMetrics:
+        """Run the request stream closed-loop at a fixed queue depth.
+
+        Arrival times are ignored: the host keeps ``queue_depth`` requests
+        outstanding, issuing the next one whenever one completes.  The
+        resulting bytes-per-second is the *device-bound* throughput
+        Fig. 10 compares (an open-loop replay's throughput is pinned to
+        the trace's arrival rate and cannot show a device improvement).
+        """
+        if not requests:
+            raise ValueError("empty request stream")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        pending = list(requests)
+        total = len(pending)
+        completed = 0
+        done_event: list[bool] = [False]
+
+        def issue_next() -> None:
+            if not pending:
+                return
+            request = pending.pop(0)
+            rebased = HostRequest(
+                request_id=request.request_id,
+                arrival_us=self.engine.now,
+                is_read=request.is_read,
+                lpns=request.lpns,
+                size_bytes=request.size_bytes,
+            )
+            if rebased.is_read:
+                self._dispatch_read(rebased, on_request_done=on_done)
+            else:
+                self._dispatch_write(rebased, on_request_done=on_done)
+
+        def on_done() -> None:
+            nonlocal completed
+            completed += 1
+            if completed >= total:
+                done_event[0] = True
+                return
+            issue_next()
+
+        for _ in range(min(queue_depth, total)):
+            self.engine.after(0.0, issue_next)
+        for time_us, lpns in background_updates or []:
+            self.engine.at(time_us, self._make_background_batch(list(lpns)))
+        # No refresh daemon deadline in closed-loop mode: scan on a fixed
+        # cadence until the stream completes, then let the queues drain.
+        interval = self.ftl.refresh_policy.scan_interval_us
+
+        def refresh_tick() -> None:
+            ops = self.ftl.check_refresh(self.engine.now)
+            self._issue_internal_sequence(ops)
+            if not done_event[0]:
+                self.engine.after(interval, refresh_tick)
+
+        self.engine.after(interval, refresh_tick)
+        self.engine.run()
+        self.metrics.start_us = 0.0
+        self.metrics.end_us = self.engine.now
+        self._fold_counters()
+        return self.metrics
+
+    def _make_background_batch(self, lpns: list[int]):
+        def apply() -> None:
+            for lpn in lpns:
+                self.ftl.write_untimed(lpn, self.engine.now)
+
+        return apply
+
+    def _make_dispatch(self, request: HostRequest):
+        def dispatch() -> None:
+            if request.is_read:
+                self._dispatch_read(request)
+            else:
+                self._dispatch_write(request)
+
+        return dispatch
+
+    def _dispatch_read(self, request: HostRequest, on_request_done=None) -> None:
+        now = self.engine.now
+        ops = [self.ftl.host_read(lpn, now) for lpn in request.lpns]
+        for op in ops:
+            assert op.bit is not None and op.wl_validity is not None
+            self.metrics.read_mix.record(op.bit, op.wl_validity, op.from_ida)
+
+        def complete(req: HostRequest, now_us: float) -> None:
+            self._complete_read(req, now_us)
+            if on_request_done is not None:
+                on_request_done()
+
+        outstanding = OutstandingRequest(request, len(ops), complete)
+
+        def page_done(start_us: float, end_us: float) -> None:
+            outstanding.page_done(end_us)
+
+        for op in ops:
+            self._issue(op, IoPriority.HOST_READ, page_done)
+
+    def _dispatch_write(self, request: HostRequest, on_request_done=None) -> None:
+        now = self.engine.now
+        host_ops: list[PhysOp] = []
+        for lpn in request.lpns:
+            result = self.ftl.host_write(lpn, now)
+            host_ops.extend(result.host_ops)
+            self._issue_internal_sequence(result.internal_ops)
+
+        def complete(req: HostRequest, now_us: float) -> None:
+            self._complete_write(req, now_us)
+            if on_request_done is not None:
+                on_request_done()
+
+        outstanding = OutstandingRequest(request, len(host_ops), complete)
+
+        def page_done(start_us: float, end_us: float) -> None:
+            outstanding.page_done(end_us)
+
+        for op in host_ops:
+            self._issue(op, IoPriority.HOST_WRITE, page_done)
+
+    def _complete_read(self, request: HostRequest, now_us: float) -> None:
+        response = now_us - request.arrival_us + self.timing.host_overhead_us
+        self.metrics.read_response.add(response)
+        self.metrics.bytes_read += request.size_bytes
+
+    def _complete_write(self, request: HostRequest, now_us: float) -> None:
+        response = now_us - request.arrival_us + self.timing.host_overhead_us
+        self.metrics.write_response.add(response)
+        self.metrics.bytes_written += request.size_bytes
+
+    # ------------------------------------------------------------------
+    # Refresh daemon
+    # ------------------------------------------------------------------
+    def _schedule_refresh_daemon(self, trace_end_us: float) -> None:
+        interval = self.ftl.refresh_policy.scan_interval_us
+
+        def tick() -> None:
+            ops = self.ftl.check_refresh(self.engine.now)
+            self._issue_internal_sequence(ops)
+            if self.engine.now + interval <= trace_end_us:
+                self.engine.after(interval, tick)
+
+        if interval <= trace_end_us:
+            self.engine.after(interval, tick)
+
+    # ------------------------------------------------------------------
+    # Op pipelines
+    # ------------------------------------------------------------------
+    def _issue_internal_sequence(self, ops: list[PhysOp]) -> None:
+        """Run internal (GC / refresh) ops one after another.
+
+        A refresh or GC pass is a background *process* that works through
+        its pages sequentially — issuing its operations as a chain (each
+        submitted when the previous completes) spreads the load over time
+        instead of flooding every die queue at the scan instant.  Host
+        reads still overtake each queued internal op via priority.
+        """
+        if not ops:
+            return
+        remaining = list(ops)
+
+        def issue_next(start_us: float = 0.0, end_us: float = 0.0) -> None:
+            if not remaining:
+                return
+            op = remaining.pop(0)
+            self._issue(op, IoPriority.INTERNAL, issue_next)
+
+        issue_next()
+
+    def _route(self, op: PhysOp) -> tuple[Resource, Resource]:
+        plane = self.geometry.plane_of_block(op.block_index)
+        die = self.dies[self.geometry.die_of_plane(plane)]
+        channel = self.channels[self.geometry.channel_of_plane(plane)]
+        return die, channel
+
+    def _issue(self, op: PhysOp, priority: IoPriority, on_done) -> None:
+        die, channel = self._route(op)
+        if op.kind is OpKind.READ:
+            self._issue_read(op, priority, die, channel, on_done)
+        elif op.kind is OpKind.WRITE:
+            self._issue_write(priority, die, channel, on_done)
+        elif op.kind is OpKind.ADJUST:
+            die.submit(priority, self.timing.adjust_us(), on_done)
+        elif op.kind is OpKind.ERASE:
+            die.submit(priority, self.timing.erase_us, on_done)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown op kind {op.kind}")
+
+    def _issue_read(
+        self,
+        op: PhysOp,
+        priority: IoPriority,
+        die: Resource,
+        channel: Resource,
+        on_done,
+    ) -> None:
+        # Retention-induced read retries hit long-stored data, i.e. host
+        # reads.  Refresh-internal reads either target data about to be
+        # rewritten anyway or verify *freshly reprogrammed* pages whose
+        # RBER is far below the retry threshold, so they decode hard.
+        if priority is IoPriority.HOST_READ:
+            retries = self.retry_model.sample_retries(
+                self._host_retry_rng, senses=op.senses
+            )
+        else:
+            retries = 0
+        if retries:
+            self.metrics.read_retries += retries
+        passes = 1 + retries
+        # Read retry re-senses the wordline with shifted voltages ([38]):
+        # the memory-access stage repeats per pass and the decoder runs
+        # per attempt, but the page transfers over the channel once, after
+        # the final successful sense.
+        sense_us = self.timing.read_us(op.senses) * passes
+        transfer_us = self.timing.transfer_us
+        decode_us = self.timing.ecc_decode_us * passes
+
+        def after_transfer(start_us: float, end_us: float) -> None:
+            # Pipelined hardware ECC: latency only, no contention.
+            self.engine.at(end_us + decode_us, lambda: on_done(start_us, end_us + decode_us))
+
+        def after_sense(start_us: float, end_us: float) -> None:
+            channel.submit(priority, transfer_us, after_transfer)
+
+        die.submit(priority, sense_us, after_sense)
+
+    def _issue_write(
+        self,
+        priority: IoPriority,
+        die: Resource,
+        channel: Resource,
+        on_done,
+    ) -> None:
+        def after_transfer(start_us: float, end_us: float) -> None:
+            die.submit(priority, self.timing.program_us, on_done)
+
+        channel.submit(priority, self.timing.transfer_us, after_transfer)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def utilisation_report(self) -> dict[str, float]:
+        """Mean die and channel utilisation over the simulated span.
+
+        Useful for checking which resource bounds a configuration: with
+        Table II's 16 dies per channel, heavy sequential loads can shift
+        the bottleneck from the sense stage to the channel transfers,
+        which dilutes any sense-time optimisation (see EXPERIMENTS.md).
+        """
+        elapsed = self.metrics.elapsed_us
+        if elapsed <= 0:
+            return {"die": 0.0, "channel": 0.0}
+        die = sum(r.utilisation(elapsed) for r in self.dies) / len(self.dies)
+        channel = sum(r.utilisation(elapsed) for r in self.channels) / len(
+            self.channels
+        )
+        return {"die": die, "channel": channel}
+
+    def _fold_counters(self) -> None:
+        counters = self.ftl.counters
+        self.metrics.gc_invocations = counters.gc_invocations
+        self.metrics.gc_page_moves = counters.gc_page_moves
+        self.metrics.block_erases = counters.block_erases
+        self.metrics.refresh_invocations = counters.refresh_invocations
+        self.metrics.refresh_page_moves = counters.refresh_page_moves
+        self.metrics.refresh_adjusted_wordlines = counters.refresh_adjusted_wordlines
+        self.metrics.refresh_reprogrammed_pages = counters.refresh_reprogrammed_pages
+        self.metrics.refresh_corrupted_pages = counters.refresh_corrupted_pages
+        self.metrics.refresh_extra_reads = counters.refresh_reprogrammed_pages
+        self.metrics.unmapped_reads = counters.unmapped_reads

@@ -1,0 +1,29 @@
+"""Workload substrate: requests, traces, synthetic generators, catalog."""
+
+from .msr import (
+    ALL_WORKLOADS,
+    EXTRA_WORKLOADS,
+    TABLE3_REFERENCE,
+    TABLE3_WORKLOADS,
+    table3_row,
+    workload,
+)
+from .request import IoRequest
+from .synthetic import GeneratedWorkload, WorkloadSpec, generate_workload
+from .trace import Trace, read_msr_csv, write_msr_csv
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "TABLE3_REFERENCE",
+    "TABLE3_WORKLOADS",
+    "table3_row",
+    "workload",
+    "IoRequest",
+    "GeneratedWorkload",
+    "WorkloadSpec",
+    "generate_workload",
+    "Trace",
+    "read_msr_csv",
+    "write_msr_csv",
+]

@@ -1,0 +1,116 @@
+"""The workload catalog: synthetic clones of the paper's traces.
+
+Eleven read-intensive MSR Cambridge volumes (Table III) plus the nine
+additional workloads of Fig. 4 (right), which the paper groups by read
+ratio.  Each entry is a :class:`~repro.workloads.synthetic.WorkloadSpec`
+calibrated to the paper's characterisation:
+
+* ``read_ratio`` — Table III column 2, used verbatim;
+* ``read_size_pages_mean`` — Table III column 3 divided by the 8 KiB page;
+* ``aging_update_fraction`` — tuned so the measured fraction of MSB reads
+  with invalid lower pages lands near Table III column 5 (the update
+  fraction is roughly half that column, see the generator docstring);
+* hot-set skew — higher for the workloads the paper reports the largest
+  IDA gains on (proj_1, usr_1), whose reads concentrate on aged data.
+
+Real MSR CSV files can replace any clone via
+:func:`repro.workloads.trace.read_msr_csv`.
+"""
+
+from __future__ import annotations
+
+from .synthetic import WorkloadSpec
+
+__all__ = [
+    "TABLE3_WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "ALL_WORKLOADS",
+    "workload",
+    "table3_row",
+]
+
+#: Paper Table III reference rows: (read ratio %, read KB, read-data %,
+#: MSB-with-invalid-lower %).
+TABLE3_REFERENCE: dict[str, tuple[float, float, float, float]] = {
+    "proj_1": (89.43, 37.45, 96.71, 22.12),
+    "proj_2": (87.61, 41.64, 85.77, 32.47),
+    "proj_3": (94.82, 8.99, 87.41, 20.81),
+    "proj_4": (98.52, 23.72, 99.30, 24.63),
+    "hm_1": (95.34, 14.93, 93.83, 20.54),
+    "src1_0": (56.43, 36.47, 47.42, 33.31),
+    "src1_1": (95.26, 35.87, 98.00, 34.79),
+    "src2_0": (97.86, 60.32, 99.51, 21.27),
+    "stg_1": (63.74, 59.68, 92.99, 38.76),
+    "usr_1": (91.48, 52.72, 97.37, 45.44),
+    "usr_2": (81.13, 50.89, 94.01, 21.43),
+}
+
+
+def _spec(
+    name: str,
+    read_ratio_pct: float,
+    read_kb: float,
+    invalid_msb_pct: float,
+    hot_access_prob: float = 0.75,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        read_ratio=read_ratio_pct / 100.0,
+        read_size_pages_mean=max(1.0, read_kb / 8.0),
+        write_size_pages_mean=3.0,
+        # Measured exposure tracks the per-period update fraction almost
+        # 1:1 (baseline refresh resets a block's exposure each period, so
+        # the steady state reflects one period of churn), so the Table III
+        # column-5 target is used directly.
+        aging_update_fraction=min(0.6, invalid_msb_pct / 100.0),
+        hot_access_prob=hot_access_prob,
+    )
+
+
+#: The eleven Table III read-intensive workloads.
+TABLE3_WORKLOADS: dict[str, WorkloadSpec] = {
+    name: _spec(
+        name,
+        row[0],
+        row[1],
+        row[3],
+        hot_access_prob=0.88 if name in ("proj_1", "usr_1") else 0.75,
+    )
+    for name, row in TABLE3_REFERENCE.items()
+}
+
+#: The nine Fig. 4 (right) workloads, grouped by read ratio as in the
+#: paper ("R>95%", "95%>R>85%", "85%>R>75%").
+EXTRA_WORKLOADS: dict[str, WorkloadSpec] = {
+    "web_a": _spec("web_a", 97.0, 24.0, 26.0),
+    "web_b": _spec("web_b", 96.0, 40.0, 31.0),
+    "cache_a": _spec("cache_a", 95.5, 16.0, 22.0),
+    "ts_a": _spec("ts_a", 92.0, 32.0, 28.0),
+    "ts_b": _spec("ts_b", 89.0, 48.0, 35.0),
+    "db_a": _spec("db_a", 87.0, 12.0, 24.0),
+    "db_b": _spec("db_b", 83.0, 20.0, 30.0),
+    "mail_a": _spec("mail_a", 79.0, 36.0, 27.0),
+    "mail_b": _spec("mail_b", 76.0, 28.0, 33.0),
+}
+
+#: Everything, keyed by name.
+ALL_WORKLOADS: dict[str, WorkloadSpec] = {**TABLE3_WORKLOADS, **EXTRA_WORKLOADS}
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up a catalog workload by name.
+
+    Raises:
+        KeyError: with the available names, when unknown.
+    """
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(ALL_WORKLOADS)}"
+        ) from None
+
+
+def table3_row(name: str) -> tuple[float, float, float, float]:
+    """The paper's Table III reference row for a workload."""
+    return TABLE3_REFERENCE[name]

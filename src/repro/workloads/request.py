@@ -1,0 +1,43 @@
+"""Trace-level I/O request model (byte-addressed, as in MSR traces)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IoRequest"]
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """One block-trace record.
+
+    Attributes:
+        time_us: Arrival time on the trace clock, microseconds.
+        is_read: Read vs write.
+        offset_bytes: Starting byte offset on the logical volume.
+        size_bytes: Transfer length in bytes.
+    """
+
+    time_us: float
+    is_read: bool
+    offset_bytes: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0:
+            raise ValueError("time_us must be non-negative")
+        if self.offset_bytes < 0:
+            raise ValueError("offset_bytes must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+    def page_span(self, page_size_bytes: int) -> tuple[int, int]:
+        """(first LPN, page count) of the pages this request touches."""
+        first = self.offset_bytes // page_size_bytes
+        last = (self.offset_bytes + self.size_bytes - 1) // page_size_bytes
+        return first, last - first + 1
+
+    def lpns(self, page_size_bytes: int) -> tuple[int, ...]:
+        """All logical page numbers this request touches."""
+        first, count = self.page_span(page_size_bytes)
+        return tuple(range(first, first + count))

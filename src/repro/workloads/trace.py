@@ -1,0 +1,129 @@
+"""Trace containers and MSR-Cambridge-format I/O.
+
+The MSR Cambridge traces [25] are CSV files with records
+
+    Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+
+where Timestamp is in Windows filetime units (100 ns ticks) and Type is
+``Read`` or ``Write``.  :func:`read_msr_csv` / :func:`write_msr_csv`
+round-trip that format so real traces can be dropped in for the synthetic
+clones, and :class:`Trace` computes the Table III characterisation
+columns.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .request import IoRequest
+
+__all__ = ["Trace", "read_msr_csv", "write_msr_csv"]
+
+#: MSR timestamps are 100 ns ticks; one tick is 0.1 us.
+_TICKS_PER_US = 10.0
+
+
+@dataclass
+class Trace:
+    """A named sequence of I/O requests plus derived statistics."""
+
+    name: str
+    requests: list[IoRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    # ------------------------------------------------------------------
+    # Table III characterisation
+    # ------------------------------------------------------------------
+    @property
+    def read_requests(self) -> list[IoRequest]:
+        return [r for r in self.requests if r.is_read]
+
+    def read_ratio(self) -> float:
+        """Fraction of requests that are reads (Table III column 2)."""
+        if not self.requests:
+            return 0.0
+        return len(self.read_requests) / len(self.requests)
+
+    def mean_read_size_kb(self) -> float:
+        """Average read request size in KB (Table III column 3)."""
+        reads = self.read_requests
+        if not reads:
+            return 0.0
+        return sum(r.size_bytes for r in reads) / len(reads) / 1024
+
+    def read_data_ratio(self) -> float:
+        """Fraction of transferred bytes that are reads (column 4)."""
+        total = sum(r.size_bytes for r in self.requests)
+        if not total:
+            return 0.0
+        return sum(r.size_bytes for r in self.read_requests) / total
+
+    def duration_us(self) -> float:
+        if not self.requests:
+            return 0.0
+        times = [r.time_us for r in self.requests]
+        return max(times) - min(times)
+
+    def footprint_pages(self, page_size_bytes: int) -> int:
+        """Distinct logical pages the trace touches."""
+        pages: set[int] = set()
+        for request in self.requests:
+            first, count = request.page_span(page_size_bytes)
+            pages.update(range(first, first + count))
+        return len(pages)
+
+
+def read_msr_csv(path: str | Path, name: str | None = None) -> Trace:
+    """Parse an MSR Cambridge CSV trace file.
+
+    Timestamps are rebased so the first request arrives at time zero.
+    """
+    path = Path(path)
+    requests: list[IoRequest] = []
+    base_ticks: int | None = None
+    with path.open(newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or len(row) < 6:
+                continue
+            ticks = int(row[0])
+            if base_ticks is None:
+                base_ticks = ticks
+            kind = row[3].strip().lower()
+            if kind not in ("read", "write"):
+                raise ValueError(f"unknown request type {row[3]!r} in {path}")
+            requests.append(
+                IoRequest(
+                    time_us=(ticks - base_ticks) / _TICKS_PER_US,
+                    is_read=kind == "read",
+                    offset_bytes=int(row[4]),
+                    size_bytes=int(row[5]),
+                )
+            )
+    return Trace(name=name or path.stem, requests=requests)
+
+
+def write_msr_csv(trace: Trace, path: str | Path, hostname: str = "synth") -> None:
+    """Write a trace in MSR Cambridge CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for request in trace.requests:
+            writer.writerow(
+                [
+                    int(round(request.time_us * _TICKS_PER_US)),
+                    hostname,
+                    0,
+                    "Read" if request.is_read else "Write",
+                    request.offset_bytes,
+                    request.size_bytes,
+                    0,
+                ]
+            )

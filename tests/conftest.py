@@ -1,0 +1,53 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import conventional_mlc, conventional_qlc, conventional_tlc, tlc_232
+from repro.experiments.config import RunScale
+
+
+@pytest.fixture
+def tlc():
+    return conventional_tlc()
+
+
+@pytest.fixture
+def mlc():
+    return conventional_mlc()
+
+
+@pytest.fixture
+def qlc():
+    return conventional_qlc()
+
+
+@pytest.fixture
+def tlc232():
+    return tlc_232()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def quick_scale():
+    return RunScale.quick()
+
+
+@pytest.fixture
+def tiny_scale():
+    """Smallest scale that still exercises refresh and GC."""
+    return RunScale(
+        num_requests=400,
+        footprint_pages=4000,
+        blocks_per_plane=12,
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+    )

@@ -1,0 +1,60 @@
+"""Tests for the named codings (repro.core.{tlc,mlc,qlc})."""
+
+from __future__ import annotations
+
+from repro.core import (
+    CSB,
+    LSB,
+    MSB,
+    PAGE_NAMES,
+    QLC_BITS,
+    conventional_mlc,
+    conventional_qlc,
+    conventional_tlc,
+    tlc_232,
+)
+
+
+class TestConventionalTlc:
+    def test_senses(self):
+        assert conventional_tlc().sense_counts() == (1, 2, 4)
+
+    def test_bit_aliases(self):
+        assert (LSB, CSB, MSB) == (0, 1, 2)
+        assert PAGE_NAMES == ("LSB", "CSB", "MSB")
+
+    def test_deterministic(self):
+        assert conventional_tlc().states == conventional_tlc().states
+
+
+class TestTlc232:
+    def test_senses(self):
+        # Sec. III-B: "two, three, and two memory accesses".
+        assert tlc_232().sense_counts() == (2, 3, 2)
+
+    def test_starts_erased(self):
+        assert tlc_232().states[0] == (1, 1, 1)
+
+    def test_smaller_read_variation_than_conventional(self):
+        conv = conventional_tlc().sense_counts()
+        alt = tlc_232().sense_counts()
+        assert max(alt) - min(alt) < max(conv) - min(conv)
+
+
+class TestMlc:
+    def test_senses(self):
+        assert conventional_mlc().sense_counts() == (1, 2)
+
+    def test_four_states(self):
+        assert conventional_mlc().num_states == 4
+
+
+class TestQlc:
+    def test_senses(self):
+        assert conventional_qlc().sense_counts() == (1, 2, 4, 8)
+
+    def test_sixteen_states(self):
+        assert conventional_qlc().num_states == 16
+
+    def test_bits_constant(self):
+        assert conventional_qlc().bits == QLC_BITS == 4

@@ -1,0 +1,93 @@
+"""Tests for the read-latency model (repro.core.readpath)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import IdaTransform, ReadLatencyModel, conventional_tlc, tlc_232
+
+
+class TestTableTwoLatencies:
+    """Table II: 50 / 100 / 150 us for LSB / CSB / MSB."""
+
+    def test_tlc_page_latencies(self, tlc):
+        model = ReadLatencyModel(tr_base_us=50.0, dtr_us=50.0)
+        assert model.page_latency_us(tlc, 0) == 50.0
+        assert model.page_latency_us(tlc, 1) == 100.0
+        assert model.page_latency_us(tlc, 2) == 150.0
+
+    def test_mlc_device_latencies(self, mlc):
+        # Sec. V-G: 65 and 115 us.
+        model = ReadLatencyModel(tr_base_us=65.0, dtr_us=50.0)
+        assert model.page_latency_us(mlc, 0) == 65.0
+        assert model.page_latency_us(mlc, 1) == 115.0
+
+    def test_ida_latencies_match_fig5(self, tlc):
+        model = ReadLatencyModel()
+        transform = IdaTransform(tlc, (1, 2))
+        assert model.ida_latency_us(transform, 1) == 50.0  # CSB -> LSB speed
+        assert model.ida_latency_us(transform, 2) == 100.0  # MSB -> CSB speed
+
+    def test_msb_only_reaches_lsb_latency(self, tlc):
+        # Sec. V-A: "reading such MSB page data takes the same time as an
+        # LSB read".
+        model = ReadLatencyModel()
+        transform = IdaTransform(tlc, (2,))
+        assert model.ida_latency_us(transform, 2) == 50.0
+
+
+class TestNonPowerOfTwoSenses:
+    def test_three_senses_charged_at_four(self):
+        # The 2-3-2 coding's CSB read (3 senses) rounds up conservatively.
+        model = ReadLatencyModel()
+        assert model.latency_us(3) == model.latency_us(4) == 150.0
+
+    def test_232_coding_latencies(self, tlc232):
+        model = ReadLatencyModel()
+        assert model.page_latency_us(tlc232, 0) == 100.0
+        assert model.page_latency_us(tlc232, 1) == 150.0
+        assert model.page_latency_us(tlc232, 2) == 100.0
+
+
+class TestDtrSweep:
+    @pytest.mark.parametrize("dtr", [30.0, 40.0, 50.0, 60.0, 70.0])
+    def test_with_dtr(self, dtr):
+        model = ReadLatencyModel().with_dtr(dtr)
+        assert model.latency_us(1) == 50.0
+        assert model.latency_us(2) == 50.0 + dtr
+        assert model.latency_us(4) == 50.0 + 2 * dtr
+
+    def test_with_dtr_preserves_base(self):
+        model = ReadLatencyModel(tr_base_us=65.0).with_dtr(25.0)
+        assert model.tr_base_us == 65.0
+        assert model.dtr_us == 25.0
+
+
+class TestValidation:
+    def test_rejects_zero_base(self):
+        with pytest.raises(ValueError):
+            ReadLatencyModel(tr_base_us=0.0)
+
+    def test_rejects_negative_dtr(self):
+        with pytest.raises(ValueError):
+            ReadLatencyModel(dtr_us=-1.0)
+
+    def test_rejects_zero_senses(self):
+        with pytest.raises(ValueError):
+            ReadLatencyModel().latency_us(0)
+
+
+class TestProperties:
+    @given(st.integers(min_value=1, max_value=64))
+    def test_latency_monotone_in_senses(self, senses):
+        model = ReadLatencyModel()
+        assert model.latency_us(senses + 1) >= model.latency_us(senses)
+
+    @given(
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_single_sense_is_base(self, base, dtr):
+        model = ReadLatencyModel(tr_base_us=base, dtr_us=dtr)
+        assert model.latency_us(1) == base

@@ -1,0 +1,155 @@
+"""Tests for the BCH codec (repro.ecc.bch) and GF(2^m) (repro.ecc.gf)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.bch import BchCode
+from repro.ecc.gf import DEFAULT_PRIMITIVE_POLYS, GF2m
+
+
+class TestGaloisField:
+    @pytest.mark.parametrize("m", sorted(DEFAULT_PRIMITIVE_POLYS))
+    def test_multiplicative_group(self, m):
+        field = GF2m(m)
+        # alpha generates all non-zero elements.
+        seen = set()
+        for power in range(field.order - 1):
+            seen.add(field.pow_alpha(power))
+        assert seen == set(range(1, field.order))
+
+    def test_mul_inverse(self):
+        field = GF2m(5)
+        for a in range(1, field.order):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_div_consistent_with_mul(self):
+        field = GF2m(4)
+        for a in range(field.order):
+            for b in range(1, field.order):
+                assert field.mul(field.div(a, b), b) == a
+
+    def test_zero_rules(self):
+        field = GF2m(4)
+        assert field.mul(0, 7) == 0
+        assert field.div(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            field.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_poly_eval_horner(self):
+        field = GF2m(4)
+        # p(x) = 1 + x: p(alpha) = 1 ^ alpha.
+        assert field.poly_eval([1, 1], 2) == 1 ^ 2
+
+    def test_rejects_non_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 divides x^5 - 1: order 5, not primitive.
+        with pytest.raises(ValueError, match="not primitive"):
+            GF2m(4, 0b11111)
+
+    def test_rejects_wrong_degree(self):
+        with pytest.raises(ValueError, match="degree"):
+            GF2m(4, 0b1011)
+
+
+class TestBchRoundtrip:
+    @pytest.mark.parametrize("m,t", [(4, 1), (4, 2), (5, 2), (6, 4), (8, 8)])
+    def test_parameters(self, m, t):
+        code = BchCode(m, t)
+        assert code.n == (1 << m) - 1
+        assert 0 < code.k < code.n
+        assert code.parity_bits <= m * t
+
+    def test_known_code_sizes(self):
+        # Classic textbook parameters.
+        assert (BchCode(4, 1).n, BchCode(4, 1).k) == (15, 11)
+        assert (BchCode(4, 2).n, BchCode(4, 2).k) == (15, 7)
+        assert (BchCode(6, 4).n, BchCode(6, 4).k) == (63, 39)
+
+    def test_clean_roundtrip(self, rng):
+        code = BchCode(6, 3)
+        data = rng.integers(0, 2, code.k, dtype=np.int8)
+        result = code.decode(code.encode(data))
+        assert result.ok and result.corrected == 0
+        np.testing.assert_array_equal(result.data, data)
+
+    @pytest.mark.parametrize("errors", [1, 2, 3, 4])
+    def test_corrects_up_to_t(self, errors, rng):
+        code = BchCode(6, 4)
+        data = rng.integers(0, 2, code.k, dtype=np.int8)
+        codeword = code.encode(data)
+        for _ in range(10):
+            positions = rng.choice(code.n, size=errors, replace=False)
+            corrupted = codeword.copy()
+            for p in positions:
+                corrupted[p] ^= 1
+            result = code.decode(corrupted)
+            assert result.ok
+            assert result.corrected == errors
+            np.testing.assert_array_equal(result.data, data)
+
+    def test_beyond_t_never_returns_wrong_data_silently_as_clean(self, rng):
+        # Bounded-distance decoding may miscorrect t+1 errors into a
+        # different codeword, but must never report corrected == 0 with
+        # altered data.
+        code = BchCode(5, 2)
+        data = rng.integers(0, 2, code.k, dtype=np.int8)
+        codeword = code.encode(data)
+        for _ in range(20):
+            positions = rng.choice(code.n, size=3, replace=False)
+            corrupted = codeword.copy()
+            for p in positions:
+                corrupted[p] ^= 1
+            result = code.decode(corrupted)
+            if result.ok and result.corrected == 0:
+                np.testing.assert_array_equal(result.data, corrupted[: code.k])
+
+    def test_rejects_bad_shapes(self):
+        code = BchCode(4, 1)
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(5, dtype=np.int8))
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(10, dtype=np.int8))
+        with pytest.raises(ValueError):
+            code.encode(np.full(code.k, 3, dtype=np.int8))
+
+    def test_rejects_overstrong_t(self):
+        # 2t >= n pulls (x + 1) into the generator: zero data bits left.
+        with pytest.raises(ValueError, match="no data bits"):
+            BchCode(4, 8)
+
+    def test_t7_m4_is_the_degenerate_one_bit_code(self):
+        # BCH(15, 1, 7): a single data bit survives, and it round-trips.
+        code = BchCode(4, 7)
+        assert code.k == 1
+        result = code.decode(code.encode(np.array([1], dtype=np.int8)))
+        assert result.ok and result.data[0] == 1
+
+
+class TestBchProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_error_patterns_within_t(self, data):
+        code = BchCode(5, 3)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        word = rng.integers(0, 2, code.k, dtype=np.int8)
+        errors = data.draw(st.integers(min_value=0, max_value=3))
+        codeword = code.encode(word)
+        if errors:
+            positions = rng.choice(code.n, size=errors, replace=False)
+            for p in positions:
+                codeword[p] ^= 1
+        result = code.decode(codeword)
+        assert result.ok
+        assert result.corrected == errors
+        np.testing.assert_array_equal(result.data, word)
+
+    def test_all_codewords_are_multiples_of_generator(self, rng):
+        # Structural: every encoded word has zero syndromes.
+        code = BchCode(4, 2)
+        for _ in range(20):
+            data = rng.integers(0, 2, code.k, dtype=np.int8)
+            assert not any(code._syndromes(code.encode(data)))

@@ -1,0 +1,38 @@
+"""Tests for the ECC engine front-end (repro.ecc.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc.engine import EccEngine
+from repro.ecc.hamming import DecodeStatus
+
+
+class TestEngine:
+    def test_default_timing_matches_table2(self):
+        assert EccEngine().decode_us == 20.0
+
+    def test_encode_decode_through_engine(self, rng):
+        engine = EccEngine(codec_data_bits=48)
+        data = rng.integers(0, 2, 48, dtype=np.int8)
+        result = engine.decode(engine.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        np.testing.assert_array_equal(result.data, data)
+
+    def test_corrects_injected_error(self, rng):
+        engine = EccEngine()
+        data = rng.integers(0, 2, 64, dtype=np.int8)
+        codeword = engine.encode(data)
+        corrupted = engine.codec.inject_errors(codeword, [10])
+        result = engine.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        np.testing.assert_array_equal(result.data, data)
+
+    def test_sensing_levels_delegates_to_ldpc(self, rng):
+        engine = EccEngine()
+        assert engine.sensing_levels(rng, 1e-6) == 0
+
+    def test_rejects_bad_timing(self):
+        with pytest.raises(ValueError):
+            EccEngine(decode_us=0.0)

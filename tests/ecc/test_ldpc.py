@@ -1,0 +1,84 @@
+"""Tests for the LDPC retry model (repro.ecc.ldpc)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc import LdpcModel
+
+
+@pytest.fixture
+def model():
+    return LdpcModel()
+
+
+class TestHardFailure:
+    def test_half_at_threshold(self, model):
+        assert model.hard_failure_probability(model.hard_threshold_rber) == pytest.approx(0.5)
+
+    def test_monotone_in_rber(self, model):
+        probs = [model.hard_failure_probability(r) for r in (1e-4, 1e-3, 2e-3, 5e-3)]
+        assert probs == sorted(probs)
+
+    def test_low_rber_rarely_fails(self, model):
+        assert model.hard_failure_probability(1e-4) < 0.1
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.hard_failure_probability(-1.0)
+
+
+class TestLevels:
+    def test_decay_per_level(self, model):
+        rber = 3e-3
+        for level in range(5):
+            assert model.level_failure_probability(rber, level + 1) < (
+                model.level_failure_probability(rber, level)
+            )
+
+    def test_level_zero_is_hard(self, model):
+        assert model.level_failure_probability(1e-3, 0) == (
+            model.hard_failure_probability(1e-3)
+        )
+
+    def test_rejects_negative_level(self, model):
+        with pytest.raises(ValueError):
+            model.level_failure_probability(1e-3, -1)
+
+
+class TestSampling:
+    def test_low_rber_rarely_retries(self, model):
+        rng = np.random.default_rng(0)
+        samples = [model.sample_sensing_levels(rng, 1e-5) for _ in range(500)]
+        assert np.mean(samples) < 0.1
+
+    def test_high_rber_retries_often(self, model):
+        rng = np.random.default_rng(0)
+        samples = [model.sample_sensing_levels(rng, 1e-2) for _ in range(500)]
+        assert np.mean(samples) > 0.5
+
+    def test_bounded_by_max_levels(self, model):
+        rng = np.random.default_rng(0)
+        assert all(
+            model.sample_sensing_levels(rng, 0.05) <= model.max_levels
+            for _ in range(300)
+        )
+
+    def test_expected_matches_sampled(self, model):
+        rng = np.random.default_rng(42)
+        rber = 3e-3
+        samples = [model.sample_sensing_levels(rng, rber) for _ in range(40_000)]
+        assert np.mean(samples) == pytest.approx(
+            model.expected_sensing_levels(rber), rel=0.08
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            LdpcModel(hard_threshold_rber=0.0)
+        with pytest.raises(ValueError):
+            LdpcModel(level_decay=1.0)
+        with pytest.raises(ValueError):
+            LdpcModel(max_levels=0)

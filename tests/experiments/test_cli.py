@@ -1,0 +1,36 @@
+"""Tests for the CLI front-end (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import ARTIFACTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_every_artifact_has_runner_and_formatter(self):
+        for name, (runner, formatter) in ARTIFACTS.items():
+            assert callable(runner), name
+            assert callable(formatter), name
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--scale", "galactic"])
+
+    def test_runs_one_artifact_quick(self, capsys):
+        # Run one cheap artifact end to end through the CLI.
+        code = main(["table4", "--scale", "quick", "--workloads", "proj_3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "proj_3" in out

@@ -1,0 +1,70 @@
+"""Tests for experiment configuration (repro.experiments.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import DeviceConfig, RunScale, device
+from repro.flash.geometry import Geometry
+
+
+class TestDeviceFamilies:
+    def test_tlc_matches_table2(self):
+        dev = device("tlc")
+        assert dev.coding.sense_counts() == (1, 2, 4)
+        assert dev.timing.read_us(4) == 150.0
+        assert dev.geometry.pages_per_block == 192
+        assert dev.geometry.bits_per_cell == 3
+
+    def test_mlc(self):
+        dev = device("mlc")
+        assert dev.coding.sense_counts() == (1, 2)
+        assert dev.timing.read_us(1) == 65.0
+        assert dev.geometry.pages_per_block == 128
+
+    def test_qlc(self):
+        dev = device("qlc")
+        assert dev.coding.sense_counts() == (1, 2, 4, 8)
+        assert dev.geometry.pages_per_block == 256
+
+    def test_tlc232(self):
+        dev = device("tlc232")
+        assert dev.coding.sense_counts() == (2, 3, 2)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            device("slc")
+
+    def test_with_dtr(self):
+        dev = device("tlc").with_dtr(70.0)
+        assert dev.timing.read_us(4) == 190.0
+
+    def test_coding_geometry_mismatch_rejected(self):
+        tlc = device("tlc")
+        with pytest.raises(ValueError, match="bits"):
+            DeviceConfig("bad", device("mlc").geometry, tlc.timing, tlc.coding)
+
+
+class TestRunScale:
+    def test_quick_shrinks_topology(self):
+        scale = RunScale.quick()
+        geometry = scale.apply_topology(Geometry())
+        assert geometry.total_planes < Geometry().total_planes
+        assert geometry.blocks_per_plane == scale.blocks_per_plane
+
+    def test_bench_keeps_table2_topology(self):
+        scale = RunScale.bench()
+        geometry = scale.apply_topology(Geometry())
+        assert geometry.total_planes == 64
+
+    def test_footprint_fills_blocks_per_plane(self):
+        # The refresh daemon only touches full blocks; every preset must
+        # put at least two whole blocks of data on each plane.
+        for preset in (RunScale.quick(), RunScale.bench(), RunScale.full()):
+            geometry = preset.apply_topology(Geometry())
+            per_plane = preset.footprint_pages / geometry.total_planes
+            assert per_plane >= 2 * geometry.pages_per_block, preset
+
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(ValueError):
+            RunScale(refresh_cycles=0)

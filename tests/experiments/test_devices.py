@@ -1,0 +1,61 @@
+"""Device-family end-to-end checks: exact read latencies per page type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import RunScale, device
+from repro.experiments.runner import build_simulator
+from repro.experiments.systems import baseline
+from repro.sim.scheduler import HostRequest
+
+
+def _single_read_latency(dev_name: str, lpn: int, scale: RunScale) -> float:
+    sim = build_simulator(baseline(dev_name), scale, duration_us=1e9)
+    planes = sim.geometry.total_planes
+    sim.preload(range(planes * sim.geometry.bits_per_cell + 1), -100.0, 0.0)
+    metrics = sim.run_requests(
+        [HostRequest(0, 0.0, True, (lpn,), sim.geometry.page_size_bytes)]
+    )
+    return metrics.read_response.mean_us
+
+
+@pytest.fixture
+def scale():
+    return RunScale.quick()
+
+
+class TestMlcLatencies:
+    """Sec. V-G MLC device: 65 / 115 us memory access."""
+
+    def test_lsb(self, scale):
+        # With P planes, lpns [0, P) land on LSB pages.
+        latency = _single_read_latency("mlc", 0, scale)
+        assert latency == pytest.approx(65 + 48 + 20 + 5)
+
+    def test_msb(self, scale):
+        planes = 8  # quick() topology: 2ch x 2chip x 1die x 2plane
+        latency = _single_read_latency("mlc", planes, scale)
+        assert latency == pytest.approx(115 + 48 + 20 + 5)
+
+
+class TestQlcLatencies:
+    """Projected QLC device: 1/2/4/8 senses at 60 + 50·level us."""
+
+    @pytest.mark.parametrize(
+        "level,expected_sense", [(0, 60.0), (1, 110.0), (2, 160.0), (3, 210.0)]
+    )
+    def test_all_page_types(self, scale, level, expected_sense):
+        planes = 8
+        latency = _single_read_latency("qlc", planes * level, scale)
+        assert latency == pytest.approx(expected_sense + 48 + 20 + 5)
+
+
+class TestTlc232Latencies:
+    """Vendor-alternate coding: 2/3/2 senses -> 100/150/100 us."""
+
+    @pytest.mark.parametrize("bit,expected_sense", [(0, 100.0), (1, 150.0), (2, 100.0)])
+    def test_page_types(self, scale, bit, expected_sense):
+        planes = 8
+        latency = _single_read_latency("tlc232", planes * bit, scale)
+        assert latency == pytest.approx(expected_sense + 48 + 20 + 5)

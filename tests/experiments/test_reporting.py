@@ -1,0 +1,29 @@
+"""Tests for report formatting (repro.experiments.reporting)."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ascii_table, format_pct
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["a", "bbb"], [["x", 1], ["yyyy", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        # All rows share the same width.
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+
+    def test_title(self):
+        assert ascii_table(["h"], [["v"]], title="T").splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        table = ascii_table(["only", "headers"], [])
+        assert "only" in table
+
+
+class TestFormatPct:
+    def test_basic(self):
+        assert format_pct(0.285) == "28.5%"
+        assert format_pct(0.285, digits=0) == "28%"
+        assert format_pct(1.0) == "100.0%"

@@ -1,0 +1,77 @@
+"""Tests for the experiment runner (repro.experiments.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    improvement_pct,
+    normalized_read_response,
+    run_workload,
+    run_workload_closed_loop,
+)
+from repro.experiments.systems import baseline, ida
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def usr1_pair(request):
+    from repro.experiments.config import RunScale
+
+    scale = RunScale.quick()
+    base = run_workload(baseline(), workload("usr_1"), scale)
+    variant = run_workload(ida(0.2), workload("usr_1"), scale)
+    return base, variant
+
+
+class TestRunWorkload:
+    def test_baseline_produces_responses(self, usr1_pair):
+        base, _ = usr1_pair
+        assert base.metrics.read_response.count > 500
+        assert base.mean_read_response_us > 100.0  # at least the raw path
+        assert base.metrics.refresh_invocations > 0
+
+    def test_ida_beats_baseline_on_usr1(self, usr1_pair):
+        base, variant = usr1_pair
+        assert normalized_read_response(variant, base) < 1.0
+        assert improvement_pct(variant, base) > 0.0
+
+    def test_ida_run_applies_ida(self, usr1_pair):
+        _, variant = usr1_pair
+        assert variant.metrics.refresh_adjusted_wordlines > 0
+        assert variant.metrics.read_mix.ida_fast_reads > 0
+
+    def test_baseline_never_applies_ida(self, usr1_pair):
+        base, _ = usr1_pair
+        assert base.metrics.refresh_adjusted_wordlines == 0
+        assert base.metrics.read_mix.ida_fast_reads == 0
+        assert base.ida_blocks == 0
+
+    def test_refresh_reports_collected(self, usr1_pair):
+        _, variant = usr1_pair
+        assert variant.refresh_reports
+        for report in variant.refresh_reports:
+            assert report.n_valid >= report.n_moved
+            assert report.n_error <= report.n_target
+
+    def test_runs_are_deterministic(self, quick_scale):
+        a = run_workload(baseline(), workload("proj_3"), quick_scale)
+        b = run_workload(baseline(), workload("proj_3"), quick_scale)
+        assert a.mean_read_response_us == b.mean_read_response_us
+        assert a.metrics.read_mix.by_type == b.metrics.read_mix.by_type
+
+    def test_normalized_requires_baseline_reads(self, usr1_pair):
+        base, variant = usr1_pair
+        base.metrics.read_response._samples.clear()
+        base.metrics.read_response._total = 0.0
+        with pytest.raises(ValueError):
+            normalized_read_response(variant, base)
+
+
+class TestClosedLoop:
+    def test_closed_loop_throughput_positive(self, quick_scale):
+        result = run_workload_closed_loop(
+            baseline(), workload("proj_3"), quick_scale, queue_depth=8
+        )
+        assert result.throughput_mb_s > 0
+        assert result.metrics.read_response.count > 0

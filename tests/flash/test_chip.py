@@ -1,0 +1,39 @@
+"""Tests for the cell-exact chip (repro.flash.chip)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash.chip import CellChip
+
+
+class TestCellChip:
+    def test_program_read_roundtrip(self, tlc, rng):
+        chip = CellChip(tlc, num_blocks=2, wordlines_per_block=4, cells_per_wordline=32)
+        pages = chip.random_pages(rng)
+        chip.program_wordline(0, 0, pages)
+        for bit in range(3):
+            np.testing.assert_array_equal(chip.read_page(0, 0, bit), pages[bit])
+
+    def test_adjust_then_read(self, tlc, rng):
+        chip = CellChip(tlc, cells_per_wordline=16)
+        pages = chip.random_pages(rng)
+        chip.program_wordline(1, 2, pages)
+        assert chip.page_senses(1, 2, 2) == 4
+        chip.adjust_wordline(1, 2, (1, 2))
+        assert chip.page_senses(1, 2, 2) == 2
+        np.testing.assert_array_equal(chip.read_page(1, 2, 2), pages[2])
+        np.testing.assert_array_equal(chip.read_page(1, 2, 1), pages[1])
+
+    def test_erase_block(self, tlc, rng):
+        chip = CellChip(tlc, cells_per_wordline=8)
+        chip.program_wordline(0, 0, chip.random_pages(rng))
+        chip.adjust_wordline(0, 0, (2,))
+        chip.erase_block(0)
+        # After erase the wordline is programmable again.
+        chip.program_wordline(0, 0, chip.random_pages(rng))
+
+    def test_rejects_bad_dimensions(self, tlc):
+        with pytest.raises(ValueError):
+            CellChip(tlc, num_blocks=0)

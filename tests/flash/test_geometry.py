@@ -1,0 +1,117 @@
+"""Tests for the device geometry and address math (repro.flash.geometry)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flash.geometry import Geometry
+
+
+@pytest.fixture
+def table2():
+    """The paper's Table II geometry."""
+    return Geometry()
+
+
+class TestTableTwoNumbers:
+    def test_derived_counts(self, table2):
+        assert table2.total_chips == 16
+        assert table2.total_dies == 32
+        assert table2.total_planes == 64
+        assert table2.total_blocks == 64 * 5472 == 350_208
+
+    def test_capacity_is_half_terabyte(self, table2):
+        # 350,208 blocks x 192 pages x 8 KiB ~ 512 GiB.
+        assert 500 < table2.capacity_gib < 525
+
+    def test_wordlines_per_block(self, table2):
+        assert table2.wordlines_per_block == 64
+
+    def test_page_size(self, table2):
+        assert table2.page_size_bytes == 8192
+
+
+class TestValidation:
+    def test_rejects_indivisible_pages_per_block(self):
+        with pytest.raises(ValueError, match="multiple"):
+            Geometry(pages_per_block=190, bits_per_cell=3)
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            Geometry(channels=0)
+
+
+class TestAddressMath:
+    def test_plane_index_roundtrip(self, table2):
+        for channel in range(table2.channels):
+            for chip in range(table2.chips_per_channel):
+                for die in range(table2.dies_per_chip):
+                    for plane in range(table2.planes_per_die):
+                        linear = table2.plane_index(channel, chip, die, plane)
+                        assert table2.decompose_plane(linear) == (
+                            channel,
+                            chip,
+                            die,
+                            plane,
+                        )
+
+    def test_plane_indices_are_dense(self, table2):
+        seen = {
+            table2.plane_index(c, w, d, p)
+            for c in range(table2.channels)
+            for w in range(table2.chips_per_channel)
+            for d in range(table2.dies_per_chip)
+            for p in range(table2.planes_per_die)
+        }
+        assert seen == set(range(table2.total_planes))
+
+    def test_die_of_plane_consistent(self, table2):
+        for plane_index in range(table2.total_planes):
+            channel, chip, die, _ = table2.decompose_plane(plane_index)
+            assert table2.die_of_plane(plane_index) == table2.die_index(
+                channel, chip, die
+            )
+
+    def test_channel_of_plane_consistent(self, table2):
+        for plane_index in range(table2.total_planes):
+            channel, _, _, _ = table2.decompose_plane(plane_index)
+            assert table2.channel_of_plane(plane_index) == channel
+
+    def test_page_number_roundtrip(self, table2):
+        ppn = table2.page_number(12345, 100)
+        assert table2.decompose_page(ppn) == (12345, 100)
+
+    def test_address_of(self, table2):
+        ppn = table2.page_number(table2.block_index(10, 3), 99)
+        addr = table2.address_of(ppn)
+        assert addr.block == 3
+        assert addr.page == 99
+        assert table2.plane_index(addr.channel, addr.chip, addr.die, addr.plane) == 10
+
+    def test_wordline_and_page_type(self, table2):
+        addr = table2.address_of(table2.page_number(0, 100))
+        assert addr.wordline(3) == 33
+        assert addr.page_type(3) == 1  # page 100 = WL 33, CSB
+
+    def test_wordline_pages(self, table2):
+        assert table2.wordline_pages(0) == (0, 1, 2)
+        assert table2.wordline_pages(63) == (189, 190, 191)
+
+
+class TestScaled:
+    def test_scaled_changes_only_blocks(self, table2):
+        small = table2.scaled(10)
+        assert small.blocks_per_plane == 10
+        assert small.channels == table2.channels
+        assert small.pages_per_block == table2.pages_per_block
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=350_208 * 192 - 1))
+    def test_ppn_roundtrips_through_full_address(self, ppn):
+        geometry = Geometry()
+        addr = geometry.address_of(ppn)
+        plane = geometry.plane_index(addr.channel, addr.chip, addr.die, addr.plane)
+        block_index = geometry.block_index(plane, addr.block)
+        assert geometry.page_number(block_index, addr.page) == ppn

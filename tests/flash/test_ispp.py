@@ -1,0 +1,47 @@
+"""Tests for the ISPP latency model (repro.flash.ispp)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IdaTransform, conventional_tlc
+from repro.flash.ispp import IsppModel
+from repro.flash.timing import TimingSpec
+
+
+@pytest.fixture
+def model():
+    return IsppModel(TimingSpec.tlc_table2())
+
+
+class TestLoops:
+    def test_full_range_is_one_program(self, model):
+        assert model.loops_for_distance(7, 8) == pytest.approx(1.0)
+
+    def test_zero_distance_is_free(self, model):
+        assert model.loops_for_distance(0, 8) == 0.0
+
+    def test_rejects_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.loops_for_distance(8, 8)
+        with pytest.raises(ValueError):
+            model.loops_for_distance(-1, 8)
+        with pytest.raises(ValueError):
+            model.loops_for_distance(1, 1)
+
+
+class TestAdjustLatency:
+    def test_conservative_is_one_program(self, model):
+        # The paper's conservative evaluation choice.
+        assert model.conservative_adjust_us() == 2300.0
+
+    def test_proportional_is_about_half(self, model):
+        # Sec. III-B: the two-phase schedule halves the swept range.
+        transform = IdaTransform(conventional_tlc(), (1, 2))
+        proportional = model.proportional_adjust_us(transform)
+        assert proportional <= model.conservative_adjust_us() * 0.55
+        assert proportional > 0
+
+    def test_proportional_below_conservative_for_msb_only(self, model):
+        transform = IdaTransform(conventional_tlc(), (2,))
+        assert model.proportional_adjust_us(transform) < model.conservative_adjust_us()

@@ -1,0 +1,99 @@
+"""Tests for the per-plane block pool (repro.flash.plane)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.block import Block
+from repro.flash.plane import PlanePool
+
+
+def _pool(num_blocks=4, pages=6):
+    blocks = [Block(index=i, pages_per_block=pages, bits_per_cell=3) for i in range(num_blocks)]
+    return PlanePool(plane_index=0, blocks=blocks)
+
+
+class TestAllocation:
+    def test_opens_first_free_block(self):
+        pool = _pool()
+        block = pool.active_block(0.0)
+        assert block.index == 0
+        assert pool.free_count == 3
+
+    def test_reuses_active_until_full(self):
+        pool = _pool(pages=6)
+        first = pool.active_block(0.0)
+        for _ in range(6):
+            block = pool.active_block(0.0)
+            assert block is first
+            block.program_next(0.0)
+        second = pool.active_block(0.0)
+        assert second is not first
+        assert 0 in pool.used
+
+    def test_retire_active_moves_full_block(self):
+        pool = _pool(pages=3)
+        block = pool.active_block(0.0)
+        for _ in range(3):
+            block.program_next(0.0)
+        pool.retire_active()
+        assert pool.active is None
+        assert 0 in pool.used
+
+    def test_retire_ignores_partial_block(self):
+        pool = _pool()
+        pool.active_block(0.0).program_next(0.0)
+        pool.retire_active()
+        assert pool.active == 0
+
+    def test_exhaustion_raises(self):
+        pool = _pool(num_blocks=1, pages=3)
+        block = pool.active_block(0.0)
+        for _ in range(3):
+            block.program_next(0.0)
+        with pytest.raises(RuntimeError, match="no free blocks"):
+            pool.active_block(0.0)
+
+
+class TestRelease:
+    def test_release_returns_block_to_free_list(self):
+        pool = _pool(pages=3)
+        block = pool.active_block(0.0)
+        for _ in range(3):
+            block.program_next(0.0)
+        pool.retire_active()
+        for page in range(3):
+            block.invalidate(page)
+        block.erase()
+        pool.release(0)
+        assert pool.free_count == 4
+        assert 0 not in pool.used
+
+    def test_release_with_valid_data_raises(self):
+        pool = _pool(pages=3)
+        block = pool.active_block(0.0)
+        for _ in range(3):
+            block.program_next(0.0)
+        pool.retire_active()
+        with pytest.raises(RuntimeError, match="valid data"):
+            pool.release(0)
+
+
+class TestQueries:
+    def test_used_blocks_includes_active(self):
+        pool = _pool(pages=3)
+        block = pool.active_block(0.0)
+        block.program_next(0.0)
+        assert [b.index for b in pool.used_blocks()] == [0]
+
+    def test_gc_candidates_excludes_active(self):
+        pool = _pool(pages=3)
+        block = pool.active_block(0.0)
+        for _ in range(3):
+            block.program_next(0.0)
+        pool.active_block(0.0)  # opens block 1, retires 0
+        candidates = pool.gc_candidates()
+        assert [b.index for b in candidates] == [0]
+
+    def test_total_blocks(self):
+        assert _pool(num_blocks=7).total_blocks == 7

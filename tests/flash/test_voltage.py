@@ -1,0 +1,113 @@
+"""Tests for the threshold-voltage model (repro.flash.voltage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.voltage import StateDistribution, VoltageModel
+
+
+class TestStateDistribution:
+    def test_symmetry_at_mean(self):
+        dist = StateDistribution(1.0, 0.1)
+        assert dist.prob_above(1.0) == pytest.approx(0.5)
+        assert dist.prob_below(1.0) == pytest.approx(0.5)
+
+    def test_tails_decay(self):
+        dist = StateDistribution(0.0, 0.1)
+        assert dist.prob_above(0.5) < 1e-4
+        assert dist.prob_below(-0.5) < 1e-4
+
+    def test_shifted(self):
+        dist = StateDistribution(0.0, 0.1).shifted(0.3, widen=0.05)
+        assert dist.mean_v == pytest.approx(0.3)
+        assert dist.sigma_v == pytest.approx(0.15)
+
+    def test_rejects_zero_sigma(self):
+        with pytest.raises(ValueError):
+            StateDistribution(0.0, 0.0)
+
+
+class TestVoltageModel:
+    @pytest.fixture
+    def model(self):
+        return VoltageModel()
+
+    def test_state_means_ascend(self, model):
+        means = [model.state_mean_v(s) for s in range(8)]
+        assert means == sorted(means)
+        assert means[0] == model.erased_mean_v
+        assert means[-1] == model.top_mean_v
+
+    def test_read_voltages_between_neighbours(self, model):
+        for boundary in range(1, 8):
+            v = model.read_voltage(boundary)
+            assert model.state_mean_v(boundary - 1) < v < model.state_mean_v(boundary)
+
+    def test_fresh_rber_is_tiny(self, model):
+        assert model.raw_bit_error_rate(retention_days=0.0) < 1e-4
+
+    def test_rber_grows_with_retention(self, model):
+        values = [model.raw_bit_error_rate(d) for d in (0, 30, 90, 365)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_retention_shifts_programmed_states_down(self, model):
+        fresh = model.distribution(7, 0.0)
+        aged = model.distribution(7, 90.0)
+        assert aged.mean_v < fresh.mean_v
+        assert aged.sigma_v > fresh.sigma_v
+
+    def test_erased_state_does_not_drift(self, model):
+        fresh = model.distribution(0, 0.0)
+        aged = model.distribution(0, 365.0)
+        assert aged.mean_v == fresh.mean_v
+
+    def test_higher_states_drift_faster(self, model):
+        drift_low = model.state_mean_v(1) - model.distribution(1, 90.0).mean_v
+        drift_high = model.state_mean_v(7) - model.distribution(7, 90.0).mean_v
+        assert drift_high > drift_low
+
+    def test_misread_probability_bounds(self, model):
+        for state in range(8):
+            for boundary in (state, state + 1):
+                if 1 <= boundary < 8:
+                    p = model.misread_probability(state, boundary, 30.0)
+                    assert 0.0 <= p <= 1.0
+
+    def test_validation(self, model):
+        with pytest.raises(IndexError):
+            model.state_mean_v(8)
+        with pytest.raises(IndexError):
+            model.read_voltage(0)
+        with pytest.raises(ValueError):
+            model.distribution(1, -1.0)
+        with pytest.raises(ValueError):
+            VoltageModel(num_states=1)
+        with pytest.raises(ValueError):
+            VoltageModel(erased_mean_v=5.0, top_mean_v=4.0)
+
+
+class TestIdaMergedMargins:
+    def test_merged_model_margins_not_degraded(self):
+        # After the Fig. 5 merge (states S5..S8 = indices 4..7 survive),
+        # the kept states are adjacent so per-boundary margins equal the
+        # originals: the worst-case (top-state) misread probability is
+        # unchanged — IDA-coded cells are no less readable.
+        full = VoltageModel()
+        merged = full.merged((4, 5, 6, 7))
+        assert merged.num_states == 4
+        worst_full = full.misread_probability(7, 7, 90.0)
+        worst_merged = merged.misread_probability(3, 3, 90.0)
+        assert worst_merged == pytest.approx(worst_full, rel=0.05)
+
+    def test_merged_preserves_state_spacing(self):
+        full = VoltageModel()
+        merged = full.merged((4, 5, 6, 7))
+        full_step = full.state_mean_v(7) - full.state_mean_v(6)
+        merged_step = merged.state_mean_v(3) - merged.state_mean_v(2)
+        assert merged_step == pytest.approx(full_step)
+
+    def test_merged_rejects_single_state(self):
+        with pytest.raises(ValueError):
+            VoltageModel().merged((7,))

@@ -1,0 +1,61 @@
+"""Tests for static allocation (repro.ftl.allocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.geometry import Geometry
+from repro.ftl.allocation import StaticAllocator, cwdp_order, pdwc_order
+
+
+@pytest.fixture
+def geometry():
+    return Geometry(
+        channels=2, chips_per_channel=2, dies_per_chip=2, planes_per_die=2,
+        blocks_per_plane=4,
+    )
+
+
+class TestCwdpOrder:
+    def test_covers_every_plane_once(self, geometry):
+        order = cwdp_order(geometry)
+        assert sorted(order) == list(range(geometry.total_planes))
+
+    def test_channel_varies_fastest(self, geometry):
+        order = cwdp_order(geometry)
+        channels = [geometry.channel_of_plane(p) for p in order[: geometry.channels]]
+        # The first `channels` allocations hit every channel.
+        assert sorted(channels) == list(range(geometry.channels))
+
+    def test_consecutive_pages_alternate_channels(self, geometry):
+        order = cwdp_order(geometry)
+        for first, second in zip(order, order[1:]):
+            if geometry.channel_of_plane(first) == geometry.channel_of_plane(second):
+                # Only allowed when a full channel round completed.
+                assert order.index(second) % geometry.channels == 0
+
+
+class TestPdwcOrder:
+    def test_covers_every_plane_once(self, geometry):
+        order = pdwc_order(geometry)
+        assert sorted(order) == list(range(geometry.total_planes))
+
+    def test_differs_from_cwdp(self, geometry):
+        assert pdwc_order(geometry) != cwdp_order(geometry)
+
+    def test_channel_varies_slowest(self, geometry):
+        order = pdwc_order(geometry)
+        half = geometry.total_planes // geometry.channels
+        assert all(geometry.channel_of_plane(p) == 0 for p in order[:half])
+
+
+class TestAllocator:
+    def test_cycles_through_all_planes(self, geometry):
+        allocator = StaticAllocator(geometry, "cwdp")
+        picks = [allocator.next_plane() for _ in range(geometry.total_planes * 2)]
+        assert sorted(set(picks)) == list(range(geometry.total_planes))
+        assert picks[: geometry.total_planes] == picks[geometry.total_planes :]
+
+    def test_unknown_strategy_rejected(self, geometry):
+        with pytest.raises(ValueError, match="unknown allocation strategy"):
+            StaticAllocator(geometry, "xyz")

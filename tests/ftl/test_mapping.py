@@ -1,0 +1,94 @@
+"""Tests for the page map (repro.ftl.mapping)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl.mapping import PageMap
+
+
+class TestBasicOperations:
+    def test_lookup_unmapped(self):
+        assert PageMap().lookup(7) is None
+
+    def test_bind_and_lookup(self):
+        m = PageMap()
+        m.bind(7, 100)
+        assert m.lookup(7) == 100
+        assert m.owner(100) == 7
+        assert 7 in m
+        assert len(m) == 1
+
+    def test_rebind_same_lpn_releases_old_ppn(self):
+        m = PageMap()
+        m.bind(7, 100)
+        old = m.bind(7, 200)
+        assert old == 100
+        assert m.lookup(7) == 200
+        assert m.owner(100) is None
+        assert m.owner(200) == 7
+
+    def test_bind_occupied_ppn_raises(self):
+        m = PageMap()
+        m.bind(7, 100)
+        with pytest.raises(ValueError, match="already holds"):
+            m.bind(8, 100)
+
+    def test_unbind(self):
+        m = PageMap()
+        m.bind(7, 100)
+        assert m.unbind(7) == 100
+        assert m.lookup(7) is None
+        assert m.owner(100) is None
+        assert m.unbind(7) is None
+
+    def test_rebind_physical(self):
+        m = PageMap()
+        m.bind(7, 100)
+        assert m.rebind_physical(100, 555) == 7
+        assert m.lookup(7) == 555
+        assert m.owner(100) is None
+        assert m.owner(555) == 7
+
+    def test_rebind_physical_unowned_raises(self):
+        with pytest.raises(KeyError):
+            PageMap().rebind_physical(100, 200)
+
+
+class TestInverseInvariant:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["bind", "unbind", "move"]),
+                st.integers(0, 19),  # lpn
+                st.integers(0, 99),  # ppn
+            ),
+            max_size=60,
+        )
+    )
+    def test_forward_and_reverse_stay_inverse(self, operations):
+        m = PageMap()
+        for op, lpn, ppn in operations:
+            if op == "bind":
+                owner = m.owner(ppn)
+                if owner is not None and owner != lpn:
+                    continue  # would be rejected
+                m.bind(lpn, ppn)
+            elif op == "unbind":
+                m.unbind(lpn)
+            else:  # move the lpn's data to ppn if possible
+                current = m.lookup(lpn)
+                if current is None or m.owner(ppn) is not None:
+                    continue
+                m.rebind_physical(current, ppn)
+        # Invariant: forward and reverse maps are exact inverses.
+        for lpn in range(20):
+            ppn = m.lookup(lpn)
+            if ppn is not None:
+                assert m.owner(ppn) == lpn
+        for ppn in range(100):
+            lpn = m.owner(ppn)
+            if lpn is not None:
+                assert m.lookup(lpn) == ppn

@@ -1,0 +1,138 @@
+"""End-to-end integration tests: the paper's headline trends, small scale.
+
+These assert the *shape* of the paper's results on quick-scale runs:
+IDA wins on read-intensive workloads, the benefit decays with the
+adjustment error rate, grows with dtR, and the refresh accounting obeys
+the Sec. III-C formulas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import RunScale
+from repro.experiments.runner import (
+    normalized_read_response,
+    run_workload,
+)
+from repro.experiments.systems import baseline, ida
+from repro.workloads import workload
+
+WORKLOADS = ["usr_1", "src2_0", "proj_1"]
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return RunScale.quick()
+
+
+@pytest.fixture(scope="module")
+def runs(scale):
+    """Baseline + IDA variants for a few workloads, shared by the tests."""
+    out = {}
+    for name in WORKLOADS:
+        spec = workload(name)
+        out[name] = {
+            "baseline": run_workload(baseline(), spec, scale),
+            "ida-e0": run_workload(ida(0.0), spec, scale),
+            "ida-e20": run_workload(ida(0.2), spec, scale),
+            "ida-e80": run_workload(ida(0.8), spec, scale),
+        }
+    return out
+
+
+class TestHeadlineResult:
+    def test_ida_e20_improves_read_response_on_average(self, runs):
+        norms = [
+            normalized_read_response(per["ida-e20"], per["baseline"])
+            for per in runs.values()
+        ]
+        average = sum(norms) / len(norms)
+        assert average < 0.97, f"IDA-E20 should win on average, got {norms}"
+
+    def test_ida_e0_is_upper_bound(self, runs):
+        # E0 (no disturb) must beat E20 on average (Sec. IV-C).
+        e0 = sum(
+            normalized_read_response(per["ida-e0"], per["baseline"])
+            for per in runs.values()
+        )
+        e20 = sum(
+            normalized_read_response(per["ida-e20"], per["baseline"])
+            for per in runs.values()
+        )
+        assert e0 <= e20 + 0.02
+
+    def test_benefit_decays_with_error_rate(self, runs):
+        # Fig. 8: E80's benefit is far smaller than E0's.
+        e0 = sum(
+            normalized_read_response(per["ida-e0"], per["baseline"])
+            for per in runs.values()
+        )
+        e80 = sum(
+            normalized_read_response(per["ida-e80"], per["baseline"])
+            for per in runs.values()
+        )
+        assert e0 < e80
+
+    def test_ida_serves_fast_reads(self, runs):
+        for name, per in runs.items():
+            mix = per["ida-e20"].metrics.read_mix
+            assert mix.ida_fast_reads > 0, name
+            assert per["ida-e20"].ida_blocks > 0 or (
+                per["ida-e20"].metrics.refresh_adjusted_wordlines > 0
+            )
+
+
+class TestRefreshAccountingShapes:
+    def test_table4_structure(self, runs):
+        # Extra reads ~ kept pages (about half the valid pages); extra
+        # writes ~ E20 of the kept pages.
+        for name, per in runs.items():
+            reports = [
+                r
+                for r in per["ida-e20"].refresh_reports
+                if r.n_adjusted_wordlines > 0
+            ]
+            assert reports, name
+            n = len(reports)
+            valid = sum(r.n_valid for r in reports) / n
+            extra_reads = sum(r.extra_reads for r in reports) / n
+            extra_writes = sum(r.extra_writes for r in reports) / n
+            assert 0.2 * valid < extra_reads < 0.95 * valid
+            assert extra_writes == pytest.approx(0.2 * extra_reads, rel=0.4)
+
+    def test_e0_writes_nothing_back(self, runs):
+        for per in runs.values():
+            assert per["ida-e0"].metrics.refresh_corrupted_pages == 0
+
+    def test_in_use_blocks_grow_moderately(self, runs):
+        # Sec. III-C: IDA keeps refresh target blocks alive, so the
+        # in-use census grows, but boundedly.
+        for per in runs.values():
+            base_blocks = per["baseline"].in_use_blocks
+            ida_blocks = per["ida-e20"].in_use_blocks
+            assert ida_blocks <= base_blocks * 2.0
+
+
+class TestDataConsistency:
+    def test_all_live_data_mapped_after_runs(self, scale):
+        result = run_workload(ida(0.2), workload("proj_3"), scale)
+        # RunResult doesn't expose the FTL, so re-derive via a fresh sim
+        # kept simple: the census must balance.
+        assert result.metrics.unmapped_reads < result.metrics.read_mix.total
+
+
+class TestDtrTrend:
+    def test_higher_dtr_bigger_benefit(self, scale):
+        # Averaged over workloads: single-workload runs at quick scale
+        # carry a few percent of scheduling noise (see EXPERIMENTS.md).
+        norms = {30.0: [], 70.0: []}
+        for name in WORKLOADS:
+            spec = workload(name)
+            for dtr in norms:
+                base = run_workload(baseline().with_dtr(dtr), spec, scale)
+                variant = run_workload(ida(0.2).with_dtr(dtr), spec, scale)
+                norms[dtr].append(normalized_read_response(variant, base))
+        avg30 = sum(norms[30.0]) / len(norms[30.0])
+        avg70 = sum(norms[70.0]) / len(norms[70.0])
+        assert avg70 <= avg30 + 0.02

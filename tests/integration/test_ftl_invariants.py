@@ -1,0 +1,127 @@
+"""Property-based FTL invariants under random operation sequences.
+
+Drives the FTL with arbitrary interleavings of host writes, host reads,
+untimed churn and refresh ticks, then checks the global invariants that
+every other result depends on:
+
+* the forward and reverse maps are exact inverses;
+* every mapped PPN points at a VALID page and vice versa (no leaks, no
+  dangling validity);
+* per-block valid counts equal the mapped-page census;
+* sense counts are always consistent with the wordline mode;
+* total live data equals the set of LPNs ever written.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import conventional_tlc
+from repro.flash.block import CONVENTIONAL_WL, PageState
+from repro.flash.geometry import Geometry
+from repro.ftl.ftl import Ftl
+from repro.ftl.gc import GcPolicy
+from repro.ftl.refresh import RefreshMode, RefreshPolicy
+
+LPN_SPACE = 40
+
+
+def _build_ftl(mode: RefreshMode, error_rate: float) -> Ftl:
+    geometry = Geometry(
+        channels=1,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=12,
+    )
+    return Ftl(
+        geometry,
+        conventional_tlc(),
+        RefreshPolicy(mode=mode, period_us=500.0, error_rate=error_rate),
+        gc_policy=GcPolicy(low_watermark=1, target_free=2),
+        rng=np.random.default_rng(7),
+    )
+
+
+def _check_invariants(ftl: Ftl, live_lpns: set[int]) -> None:
+    # 1. Forward/reverse inverse + validity.
+    mapped_ppns = set()
+    for lpn in live_lpns:
+        ppn = ftl.map.lookup(lpn)
+        assert ppn is not None, f"lost LPN {lpn}"
+        assert ftl.map.owner(ppn) == lpn
+        mapped_ppns.add(ppn)
+        block, page = ftl.table.block_of_ppn(ppn)
+        assert block.state_of(page) is PageState.VALID
+    # 2. Census: every VALID page is mapped; counts agree.
+    total_valid = 0
+    for block in ftl.table.blocks:
+        valid_here = 0
+        for page in range(block.pages_per_block):
+            if block.state_of(page) is PageState.VALID:
+                ppn = ftl.geometry.page_number(block.index, page)
+                assert ppn in mapped_ppns, (
+                    f"valid page {ppn} in block {block.index} is unmapped"
+                )
+                valid_here += 1
+        assert valid_here == block.valid_count, f"block {block.index}"
+        total_valid += valid_here
+    assert total_valid == len(live_lpns)
+    # 3. Sense consistency with wordline modes.
+    for lpn in live_lpns:
+        op = ftl.host_read(lpn, 1e12)
+        block, page = ftl.table.block_of_ppn(ftl.map.lookup(lpn))
+        mode = block.wl_mode(block.wordline_of(page))
+        if mode == CONVENTIONAL_WL:
+            assert op.senses == ftl.coding.senses(op.bit)
+        else:
+            assert op.senses <= ftl.coding.senses(op.bit)
+            assert op.from_ida
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "refresh"]),
+            st.integers(0, LPN_SPACE - 1),
+        ),
+        min_size=10,
+        max_size=120,
+    ),
+    mode=st.sampled_from([RefreshMode.BASELINE, RefreshMode.IDA]),
+    error_rate=st.sampled_from([0.0, 0.2, 1.0]),
+)
+def test_random_operation_sequences_preserve_invariants(ops, mode, error_rate):
+    ftl = _build_ftl(mode, error_rate)
+    live: set[int] = set()
+    # Aged initial fill so refresh ticks have work to do.
+    for lpn in range(LPN_SPACE):
+        ftl.write_untimed(lpn, -1000.0)
+        live.add(lpn)
+    clock = 0.0
+    for kind, lpn in ops:
+        clock += 10.0
+        if kind == "write":
+            ftl.host_write(lpn, clock)
+            live.add(lpn)
+        elif kind == "read":
+            ftl.host_read(lpn, clock)
+            live.add(lpn)  # unmapped reads auto-map
+        else:
+            ftl.check_refresh(clock + 1000.0)
+    _check_invariants(ftl, live)
+
+
+@settings(max_examples=10, deadline=None)
+@given(cycles=st.integers(min_value=1, max_value=5))
+def test_repeated_ida_refresh_cycles_never_lose_data(cycles):
+    ftl = _build_ftl(RefreshMode.IDA, error_rate=0.3)
+    live = set(range(LPN_SPACE))
+    for lpn in live:
+        ftl.write_untimed(lpn, -1000.0)
+    for cycle in range(cycles):
+        ftl.check_refresh(1000.0 * (cycle + 1))
+    _check_invariants(ftl, live)

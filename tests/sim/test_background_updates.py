@@ -1,0 +1,66 @@
+"""Tests for the background-update stream (trace-sampling support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import conventional_tlc
+from repro.flash.geometry import Geometry
+from repro.flash.timing import TimingSpec
+from repro.ftl.refresh import RefreshMode, RefreshPolicy
+from repro.sim.scheduler import HostRequest
+from repro.sim.ssd import SsdSimulator
+
+
+def _sim(period_us=1e9):
+    geometry = Geometry(
+        channels=1, chips_per_channel=1, dies_per_chip=1, planes_per_die=2,
+        blocks_per_plane=8, pages_per_block=12,
+    )
+    return SsdSimulator(
+        geometry=geometry,
+        timing=TimingSpec.tlc_table2(),
+        coding=conventional_tlc(),
+        refresh_policy=RefreshPolicy(mode=RefreshMode.IDA, period_us=period_us),
+        seed=3,
+    )
+
+
+def _read(i, t, lpn):
+    return HostRequest(i, t, True, (lpn,), 8192)
+
+
+class TestBackgroundUpdates:
+    def test_batches_apply_at_their_times(self):
+        sim = _sim()
+        sim.preload(range(12), -100.0, 0.0)
+        ppn_before = sim.ftl.map.lookup(3)
+        sim.run_requests(
+            [_read(0, 0.0, 0), _read(1, 50_000.0, 0)],
+            background_updates=[(10_000.0, [3, 4])],
+        )
+        # The update relocated lpn 3 without any timed write op.
+        assert sim.ftl.map.lookup(3) != ppn_before
+        assert sim.metrics.write_response.count == 0
+
+    def test_updates_create_invalid_pages_for_refresh(self):
+        sim = _sim(period_us=30_000.0)
+        sim.preload(range(24), -40_000.0, -35_000.0)  # already refresh-due
+        sim.run_requests(
+            [_read(i, i * 10_000.0, i % 24) for i in range(12)],
+            background_updates=[(1.0, list(range(0, 24, 3)))],
+        )
+        assert sim.metrics.refresh_invocations > 0
+        # Wordlines whose lower pages went invalid were IDA-adjusted.
+        assert sim.metrics.refresh_adjusted_wordlines > 0
+
+    def test_untimed_updates_do_not_occupy_resources(self):
+        sim = _sim()
+        sim.preload(range(12), -100.0, 0.0)
+        sim.run_requests(
+            [_read(0, 0.0, 0)],
+            background_updates=[(5.0, list(range(12)))],
+        )
+        # Only the single host read touched the dies: one sense.
+        total_busy = sum(die.busy_us for die in sim.dies)
+        assert total_busy == pytest.approx(50.0)

@@ -1,0 +1,91 @@
+"""Tests for the event engine (repro.sim.engine)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimEngine()
+        fired = []
+        engine.at(30.0, lambda: fired.append("c"))
+        engine.at(10.0, lambda: fired.append("a"))
+        engine.at(20.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 30.0
+
+    def test_ties_fire_in_insertion_order(self):
+        engine = SimEngine()
+        fired = []
+        for label in "abc":
+            engine.at(5.0, lambda label=label: fired.append(label))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_after_is_relative(self):
+        engine = SimEngine()
+        times = []
+        engine.at(10.0, lambda: engine.after(5.0, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [15.0]
+
+    def test_callbacks_can_schedule_more(self):
+        engine = SimEngine()
+        counter = []
+
+        def chain():
+            counter.append(engine.now)
+            if len(counter) < 5:
+                engine.after(1.0, chain)
+
+        engine.at(0.0, chain)
+        engine.run()
+        assert counter == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimEngine()
+        engine.at(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError, match="cannot schedule"):
+            engine.at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimEngine().after(-1.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_until_leaves_later_events(self):
+        engine = SimEngine()
+        fired = []
+        engine.at(10.0, lambda: fired.append(1))
+        engine.at(30.0, lambda: fired.append(2))
+        engine.run(until=20.0)
+        assert fired == [1]
+        assert engine.now == 20.0
+        assert engine.pending == 1
+        engine.run()
+        assert fired == [1, 2]
+
+    def test_step(self):
+        engine = SimEngine()
+        engine.at(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False
+        assert engine.processed == 1
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=40))
+    def test_any_schedule_fires_sorted(self, times):
+        engine = SimEngine()
+        fired = []
+        for t in times:
+            engine.at(t, lambda t=t: fired.append(t))
+        engine.run()
+        assert fired == sorted(fired)

@@ -1,0 +1,93 @@
+"""Tests for contended resources (repro.sim.resources)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimEngine
+from repro.sim.resources import IoPriority, Resource
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+@pytest.fixture
+def resource(engine):
+    return Resource(engine, "die0")
+
+
+class TestFcfs:
+    def test_single_op_timing(self, engine, resource):
+        spans = []
+        resource.submit(IoPriority.HOST_READ, 100.0, lambda s, e: spans.append((s, e)))
+        engine.run()
+        assert spans == [(0.0, 100.0)]
+
+    def test_serial_service(self, engine, resource):
+        spans = []
+        for _ in range(3):
+            resource.submit(
+                IoPriority.HOST_READ, 50.0, lambda s, e: spans.append((s, e))
+            )
+        engine.run()
+        assert spans == [(0.0, 50.0), (50.0, 100.0), (100.0, 150.0)]
+
+    def test_busy_accounting(self, engine, resource):
+        resource.submit(IoPriority.HOST_READ, 30.0, lambda s, e: None)
+        resource.submit(IoPriority.HOST_READ, 70.0, lambda s, e: None)
+        engine.run()
+        assert resource.busy_us == 100.0
+        assert resource.utilisation(200.0) == 0.5
+
+    def test_negative_duration_rejected(self, resource):
+        with pytest.raises(ValueError):
+            resource.submit(IoPriority.HOST_READ, -1.0, lambda s, e: None)
+
+
+class TestReadFirstScheduling:
+    def test_queued_reads_overtake_queued_writes(self, engine, resource):
+        order = []
+        # Occupy the resource, then queue a write before a read.
+        resource.submit(IoPriority.INTERNAL, 10.0, lambda s, e: order.append("internal"))
+        resource.submit(IoPriority.HOST_WRITE, 10.0, lambda s, e: order.append("write"))
+        resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: order.append("read"))
+        engine.run()
+        assert order == ["internal", "read", "write"]
+
+    def test_service_is_non_preemptive(self, engine, resource):
+        # A long internal op in service is never interrupted by a read.
+        spans = {}
+        resource.submit(
+            IoPriority.INTERNAL, 1000.0, lambda s, e: spans.setdefault("internal", (s, e))
+        )
+        engine.at(5.0, lambda: resource.submit(
+            IoPriority.HOST_READ, 10.0, lambda s, e: spans.setdefault("read", (s, e))
+        ))
+        engine.run()
+        assert spans["internal"] == (0.0, 1000.0)
+        assert spans["read"] == (1000.0, 1010.0)
+
+    def test_priority_classes_drain_in_order(self, engine, resource):
+        order = []
+        resource.submit(IoPriority.INTERNAL, 1.0, lambda s, e: order.append("head"))
+        for label, prio in [
+            ("i1", IoPriority.INTERNAL),
+            ("w1", IoPriority.HOST_WRITE),
+            ("r1", IoPriority.HOST_READ),
+            ("i2", IoPriority.INTERNAL),
+            ("r2", IoPriority.HOST_READ),
+        ]:
+            resource.submit(prio, 1.0, lambda s, e, label=label: order.append(label))
+        engine.run()
+        assert order == ["head", "r1", "r2", "w1", "i1", "i2"]
+
+    def test_queued_count(self, engine, resource):
+        resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
+        resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
+        assert resource.queued == 1
+        assert resource.is_busy
+        engine.run()
+        assert resource.queued == 0
+        assert not resource.is_busy

@@ -1,0 +1,65 @@
+"""Tests for the workload catalog (repro.workloads.msr)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.msr import (
+    ALL_WORKLOADS,
+    EXTRA_WORKLOADS,
+    TABLE3_REFERENCE,
+    TABLE3_WORKLOADS,
+    table3_row,
+    workload,
+)
+
+
+class TestCatalog:
+    def test_eleven_main_workloads(self):
+        assert len(TABLE3_WORKLOADS) == 11
+        assert set(TABLE3_WORKLOADS) == set(TABLE3_REFERENCE)
+
+    def test_nine_extra_workloads(self):
+        assert len(EXTRA_WORKLOADS) == 9
+
+    def test_all_is_union(self):
+        assert set(ALL_WORKLOADS) == set(TABLE3_WORKLOADS) | set(EXTRA_WORKLOADS)
+
+    def test_lookup(self):
+        assert workload("usr_1").name == "usr_1"
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="proj_1"):
+            workload("nope")
+
+    def test_table3_row(self):
+        assert table3_row("usr_1") == (91.48, 52.72, 97.37, 45.44)
+
+
+class TestCalibrationInputs:
+    def test_read_ratios_match_paper(self):
+        for name, spec in TABLE3_WORKLOADS.items():
+            assert spec.read_ratio == pytest.approx(
+                TABLE3_REFERENCE[name][0] / 100.0
+            )
+
+    def test_read_sizes_match_paper(self):
+        for name, spec in TABLE3_WORKLOADS.items():
+            expected = max(1.0, TABLE3_REFERENCE[name][1] / 8.0)
+            assert spec.read_size_pages_mean == pytest.approx(expected)
+
+    def test_update_fraction_scales_with_invalid_target(self):
+        # Column 5 drives the update fraction; usr_1 (45%) > proj_3 (21%).
+        assert (
+            TABLE3_WORKLOADS["usr_1"].aging_update_fraction
+            > TABLE3_WORKLOADS["proj_3"].aging_update_fraction
+        )
+
+    def test_extra_workloads_span_read_ratio_classes(self):
+        ratios = [spec.read_ratio for spec in EXTRA_WORKLOADS.values()]
+        assert max(ratios) > 0.95
+        assert min(ratios) < 0.80
+
+    def test_all_specs_are_read_dominant_or_mixed(self):
+        for spec in ALL_WORKLOADS.values():
+            assert 0.5 <= spec.read_ratio <= 1.0

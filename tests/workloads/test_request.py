@@ -1,0 +1,55 @@
+"""Tests for the trace-level request model (repro.workloads.request)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.request import IoRequest
+
+
+class TestPageSpan:
+    def test_aligned_single_page(self):
+        req = IoRequest(0.0, True, 8192, 8192)
+        assert req.page_span(8192) == (1, 1)
+        assert req.lpns(8192) == (1,)
+
+    def test_unaligned_crosses_boundary(self):
+        req = IoRequest(0.0, True, 8000, 1000)
+        # Bytes 8000..8999 straddle pages 0 and 1.
+        assert req.page_span(8192) == (0, 2)
+
+    def test_multi_page(self):
+        req = IoRequest(0.0, False, 16384, 3 * 8192)
+        assert req.lpns(8192) == (2, 3, 4)
+
+    def test_tiny_request_is_one_page(self):
+        req = IoRequest(0.0, True, 100, 1)
+        assert req.page_span(8192) == (0, 1)
+
+
+class TestValidation:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            IoRequest(-1.0, True, 0, 10)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            IoRequest(0.0, True, -1, 10)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            IoRequest(0.0, True, 0, 0)
+
+
+class TestProperties:
+    @given(
+        offset=st.integers(0, 10**9),
+        size=st.integers(1, 10**6),
+    )
+    def test_span_covers_request_exactly(self, offset, size):
+        req = IoRequest(0.0, True, offset, size)
+        first, count = req.page_span(8192)
+        assert first * 8192 <= offset
+        assert (first + count) * 8192 >= offset + size
+        assert (first + count - 1) * 8192 < offset + size  # last page needed

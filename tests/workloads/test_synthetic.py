@@ -1,0 +1,149 @@
+"""Tests for the synthetic workload generator (repro.workloads.synthetic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import (
+    WorkloadSpec,
+    generate_workload,
+    sample_update_lpns,
+    update_working_set,
+)
+
+
+@pytest.fixture
+def spec():
+    return WorkloadSpec(
+        name="test_wl",
+        num_requests=4000,
+        read_ratio=0.9,
+        footprint_pages=10_000,
+        read_size_pages_mean=4.0,
+        aging_update_fraction=0.2,
+    )
+
+
+class TestDeterminism:
+    def test_same_spec_same_trace(self, spec):
+        a = generate_workload(spec)
+        b = generate_workload(spec)
+        assert a.trace.requests == b.trace.requests
+        assert a.aging_lpns == b.aging_lpns
+
+    def test_different_names_differ(self, spec):
+        from dataclasses import replace
+
+        other = replace(spec, name="other_wl")
+        assert generate_workload(spec).trace.requests != (
+            generate_workload(other).trace.requests
+        )
+
+    def test_seed_is_stable_across_processes(self, spec):
+        # CRC-based, not hash()-based (which is salted per process).
+        assert spec.effective_seed() == WorkloadSpec(
+            name="test_wl", num_requests=1
+        ).effective_seed()
+
+
+class TestCalibration:
+    def test_read_ratio_matches_spec(self, spec):
+        trace = generate_workload(spec).trace
+        assert trace.read_ratio() == pytest.approx(spec.read_ratio, abs=0.02)
+
+    def test_read_size_matches_spec(self, spec):
+        trace = generate_workload(spec).trace
+        mean_pages = trace.mean_read_size_kb() / 8.0
+        assert mean_pages == pytest.approx(spec.read_size_pages_mean, rel=0.15)
+
+    def test_duration_roughly_matches(self, spec):
+        trace = generate_workload(spec).trace
+        assert 0.4 * spec.duration_us < trace.duration_us() < 2.5 * spec.duration_us
+
+    def test_addresses_stay_in_footprint(self, spec):
+        generated = generate_workload(spec)
+        for request in generated.trace:
+            first, count = request.page_span(8192)
+            assert first >= 0
+            assert first + count <= spec.footprint_pages
+
+    def test_requests_sorted_by_time(self, spec):
+        times = [r.time_us for r in generate_workload(spec).trace]
+        assert times == sorted(times)
+
+
+class TestUpdateWorkingSet:
+    def test_size_matches_fraction(self, spec):
+        # Chunked sampling may overshoot the quota by at most one chunk.
+        working = update_working_set(spec)
+        expected = int(spec.footprint_pages * spec.aging_update_fraction)
+        assert expected <= len(working) <= expected + spec.update_chunk_pages
+
+    def test_composed_of_contiguous_chunks(self, spec):
+        # Clustered invalidation: the set contains long contiguous runs.
+        working = update_working_set(spec)
+        runs = np.split(working, np.where(np.diff(working) > 1)[0] + 1)
+        mean_run = float(np.mean([len(r) for r in runs]))
+        assert mean_run >= 4.0
+
+    def test_unique_and_in_range(self, spec):
+        working = update_working_set(spec)
+        assert len(np.unique(working)) == len(working)
+        assert working.min() >= 0
+        assert working.max() < spec.footprint_pages
+
+    def test_zero_fraction_empty(self, spec):
+        from dataclasses import replace
+
+        empty = update_working_set(replace(spec, aging_update_fraction=0.0))
+        assert len(empty) == 0
+
+    def test_aging_covers_working_set_once(self, spec):
+        generated = generate_workload(spec)
+        working = set(int(x) for x in update_working_set(spec))
+        assert set(generated.aging_lpns) == working
+        assert len(generated.aging_lpns) == len(working)
+
+    def test_timed_writes_target_working_set(self, spec):
+        generated = generate_workload(spec)
+        working = set(int(x) for x in update_working_set(spec))
+        for request in generated.trace:
+            if not request.is_read:
+                first, _ = request.page_span(8192)
+                assert first in working
+
+    def test_background_samples_come_from_working_set(self, spec):
+        samples = sample_update_lpns(spec, 500)
+        working = set(int(x) for x in update_working_set(spec))
+        assert set(samples) <= working
+
+    def test_background_empty_cases(self, spec):
+        from dataclasses import replace
+
+        assert sample_update_lpns(spec, 0) == []
+        no_updates = replace(spec, aging_update_fraction=0.0)
+        assert sample_update_lpns(no_updates, 100) == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_ratio": 1.5},
+            {"footprint_pages": 4},
+            {"num_requests": 0},
+            {"aging_update_fraction": -0.1},
+            {"hot_fraction": 0.0},
+            {"read_size_pages_mean": 0.5},
+        ],
+    )
+    def test_rejects_bad_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", **kwargs)
+
+    def test_scaled(self, spec):
+        scaled = spec.scaled(100, 5000)
+        assert scaled.num_requests == 100
+        assert scaled.footprint_pages == 5000
+        assert scaled.name == spec.name

@@ -1,0 +1,83 @@
+"""Tests for trace containers and MSR CSV I/O (repro.workloads.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.request import IoRequest
+from repro.workloads.trace import Trace, read_msr_csv, write_msr_csv
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        name="t",
+        requests=[
+            IoRequest(0.0, True, 0, 16384),
+            IoRequest(100.0, False, 8192, 8192),
+            IoRequest(200.0, True, 32768, 8192),
+        ],
+    )
+
+
+class TestStatistics:
+    def test_read_ratio(self, trace):
+        assert trace.read_ratio() == pytest.approx(2 / 3)
+
+    def test_mean_read_size_kb(self, trace):
+        assert trace.mean_read_size_kb() == pytest.approx(12.0)
+
+    def test_read_data_ratio(self, trace):
+        assert trace.read_data_ratio() == pytest.approx(24576 / 32768)
+
+    def test_duration(self, trace):
+        assert trace.duration_us() == 200.0
+
+    def test_footprint_pages(self, trace):
+        # Pages 0,1 (first read), 1 (write), 4 (second read) -> {0,1,4}.
+        assert trace.footprint_pages(8192) == 3
+
+    def test_empty_trace(self):
+        empty = Trace("e")
+        assert empty.read_ratio() == 0.0
+        assert empty.mean_read_size_kb() == 0.0
+        assert empty.read_data_ratio() == 0.0
+        assert empty.duration_us() == 0.0
+        assert len(empty) == 0
+
+
+class TestMsrRoundtrip:
+    def test_write_then_read(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_msr_csv(trace, path)
+        loaded = read_msr_csv(path)
+        assert len(loaded) == len(trace)
+        for original, parsed in zip(trace, loaded):
+            assert parsed.is_read == original.is_read
+            assert parsed.offset_bytes == original.offset_bytes
+            assert parsed.size_bytes == original.size_bytes
+            assert parsed.time_us == pytest.approx(original.time_us, abs=0.1)
+
+    def test_reads_real_msr_format(self, tmp_path):
+        path = tmp_path / "msr.csv"
+        path.write_text(
+            "128166372003061629,hm,1,Read,8192,16384,558\n"
+            "128166372013061629,hm,1,Write,0,4096,100\n"
+        )
+        trace = read_msr_csv(path, name="hm_1")
+        assert trace.name == "hm_1"
+        assert trace.requests[0].is_read
+        assert trace.requests[0].time_us == 0.0  # rebased
+        assert trace.requests[1].time_us == pytest.approx(1_000_000.0)
+        assert not trace.requests[1].is_read
+
+    def test_rejects_unknown_type(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,h,1,Trim,0,4096,0\n")
+        with pytest.raises(ValueError, match="unknown request type"):
+            read_msr_csv(path)
+
+    def test_skips_short_rows(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("1,h,1\n2,h,1,Read,0,4096,0\n")
+        assert len(read_msr_csv(path)) == 1
