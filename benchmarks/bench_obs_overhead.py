@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Microbenchmark: cost of the observability hooks on uninstrumented runs.
+
+The tracer's null fast path must keep untraced simulations within noise
+(the acceptance bar is <= 3% overhead).  This script times the same
+(system, workload, seed) run three ways:
+
+* ``untraced``  — ``tracer=None`` (the default every experiment uses);
+* ``null``      — an explicit :class:`NullTracer` (same fast path, proves
+  the guard itself is free);
+* ``traced``    — a real tracer into an in-memory sink, for context.
+
+Run:  python benchmarks/bench_obs_overhead.py [--scale quick] [--reps 5]
+                                              [--check] [--threshold 3.0]
+
+With ``--check`` the process exits non-zero when the null-tracer median
+exceeds the untraced median by more than ``--threshold`` percent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.experiments import RunScale, ida, run_workload
+from repro.obs import MemorySink, NullTracer, Tracer
+from repro.workloads import workload
+
+
+def time_run(scale: RunScale, tracer, reps: int) -> list[float]:
+    spec = workload("usr_1")
+    times = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        run_workload(ida(0.2), spec, scale, seed=11, tracer=tracer)
+        times.append(time.perf_counter() - started)
+    return times
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=["tiny", "quick", "bench"], default="quick")
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--check", action="store_true",
+                        help="fail if null-tracer overhead exceeds the threshold")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="max tolerated overhead in percent (default: 3)")
+    args = parser.parse_args(argv)
+
+    scale = getattr(RunScale, args.scale)()
+    # Warm-up: first run pays numpy / allocator warm caches.
+    time_run(scale, None, 1)
+
+    untraced = statistics.median(time_run(scale, None, args.reps))
+    null = statistics.median(time_run(scale, NullTracer(), args.reps))
+    traced = statistics.median(time_run(scale, Tracer(MemorySink()), args.reps))
+
+    overhead_null = (null / untraced - 1.0) * 100.0
+    overhead_traced = (traced / untraced - 1.0) * 100.0
+    print(f"scale={args.scale} reps={args.reps} (median wall seconds)")
+    print(f"  untraced    : {untraced:.3f} s")
+    print(f"  null tracer : {null:.3f} s  ({overhead_null:+.1f}%)")
+    print(f"  full tracer : {traced:.3f} s  ({overhead_traced:+.1f}%)")
+
+    if args.check and overhead_null > args.threshold:
+        print(f"FAIL: null-tracer overhead {overhead_null:.1f}% "
+              f"> {args.threshold:.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,20 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from repro.core import IdaTransform, ReadLatencyModel, conventional_tlc
-from repro.experiments import RunScale, baseline, ida, run_workload
+from repro.experiments import (
+    RunScale,
+    baseline,
+    ida,
+    manifest_for_run,
+    run_workload,
+    write_run_manifest,
+)
 from repro.flash.cell import WordlineCells
 from repro.workloads import workload
 
@@ -84,6 +94,12 @@ def step4_end_to_end() -> None:
     mix = fast.metrics.read_mix
     print(f"{mix.ida_fast_reads} of {mix.total} page reads were served from "
           "IDA-reprogrammed wordlines")
+    # Every run can leave a structured artifact behind: config hash, seed,
+    # metrics summary — the input to regression tracking and plots.
+    out = Path(tempfile.mkdtemp()) / "quickstart_run.json"
+    manifest = manifest_for_run(fast)
+    write_run_manifest(manifest, out)
+    print(f"run manifest written to {out} (config {manifest['config_hash']})")
 
 
 def main() -> None:

@@ -17,8 +17,9 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.experiments import RunScale, baseline, ida
+from repro.experiments import RunScale, baseline, build_run_manifest, ida, write_run_manifest
 from repro.experiments.runner import build_simulator
+from repro.obs import JsonlSink, Tracer
 from repro.sim.scheduler import HostRequest
 from repro.workloads import (
     generate_workload,
@@ -37,8 +38,12 @@ def characterise(trace) -> None:
     print(f"  footprint:         {trace.footprint_pages(8192)} pages")
 
 
-def replay(trace, system, scale: RunScale) -> float:
-    sim = build_simulator(system, scale, duration_us=max(trace.duration_us(), 1.0))
+def replay(trace, system, scale: RunScale, trace_path: Path | None = None):
+    """Replay ``trace`` against ``system``; returns (metrics, manifest)."""
+    tracer = Tracer(JsonlSink(trace_path)) if trace_path is not None else None
+    sim = build_simulator(
+        system, scale, duration_us=max(trace.duration_us(), 1.0), tracer=tracer
+    )
     page_size = sim.geometry.page_size_bytes
     footprint = trace.footprint_pages(page_size)
     period = sim.ftl.refresh_policy.period_us
@@ -48,7 +53,16 @@ def replay(trace, system, scale: RunScale) -> float:
         for i, io in enumerate(trace)
     ]
     metrics = sim.run_requests(requests)
-    return metrics.read_response.mean_us
+    if tracer is not None:
+        tracer.close()
+    manifest = build_run_manifest(
+        {"trace": trace.name, "system": system, "scale": scale},
+        metrics,
+        utilisation=sim.utilisation_report(),
+        queue_wait=sim.queue_wait_report(),
+        trace_path=trace_path,
+    )
+    return metrics, manifest
 
 
 def main() -> None:
@@ -67,11 +81,23 @@ def main() -> None:
     print()
 
     scale = RunScale.quick()
-    base_rt = replay(trace, baseline(), scale)
-    ida_rt = replay(trace, ida(0.2), scale)
+    out_dir = Path(tempfile.mkdtemp())
+    base_metrics, base_manifest = replay(trace, baseline(), scale)
+    ida_metrics, ida_manifest = replay(
+        trace, ida(0.2), scale, trace_path=out_dir / "ida_replay.jsonl"
+    )
+    base_rt = base_metrics.read_response.mean_us
+    ida_rt = ida_metrics.read_response.mean_us
     print(f"baseline mean read response: {base_rt:.1f} us")
     print(f"IDA-E20  mean read response: {ida_rt:.1f} us")
     print(f"normalized: {ida_rt / base_rt:.3f}")
+
+    # The replay doubles as an artifact-format smoke test: both runs
+    # leave manifests, and the IDA run leaves an inspectable trace.
+    for name, manifest in (("baseline", base_manifest), ("ida-e20", ida_manifest)):
+        out = write_run_manifest(manifest, out_dir / f"{name}.json")
+        print(f"{name} manifest: {out} (config {manifest['config_hash']})")
+    print(f"inspect the traced run with: ida-repro inspect {out_dir / 'ida_replay.jsonl'}")
 
 
 if __name__ == "__main__":

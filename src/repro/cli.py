@@ -1,4 +1,4 @@
-"""Command-line front-end: regenerate any paper artifact.
+"""Command-line front-end: paper artifacts, traced runs, trace inspection.
 
 Usage::
 
@@ -6,6 +6,10 @@ Usage::
     ida-repro fig8  [--scale quick|bench|full] [--workloads usr_1,proj_1]
     ida-repro table4 --scale bench
     ida-repro all --scale quick
+    ida-repro run --scale tiny --trace /tmp/t.jsonl --report /tmp/run.json
+    ida-repro inspect /tmp/t.jsonl --top 5
+
+(The ``repro`` console script is an alias of ``ida-repro``.)
 """
 
 from __future__ import annotations
@@ -14,6 +18,14 @@ import argparse
 import sys
 import time
 from typing import Callable
+
+from .obs import (
+    IntervalCollector,
+    JsonlSink,
+    Tracer,
+    format_trace_summary,
+    load_trace,
+)
 
 from .experiments import (
     RunScale,
@@ -63,6 +75,7 @@ ARTIFACTS: dict[str, tuple[Callable, Callable]] = {
 }
 
 _SCALES = {
+    "tiny": RunScale.tiny,
     "quick": RunScale.quick,
     "bench": RunScale.bench,
     "full": RunScale.full,
@@ -101,8 +114,123 @@ def _run_one(name: str, scale: RunScale, workload_names: list[str] | None) -> st
     return f"{formatter(result)}\n[{name}: {elapsed:.1f}s]"
 
 
+def _parse_system(name: str):
+    """Resolve a system name ("baseline", "ida", "ida-e20", ...)."""
+    from .experiments.systems import baseline, ida
+
+    name = name.lower()
+    if name == "baseline":
+        return baseline()
+    if name == "ida":
+        return ida(0.2)
+    if name.startswith("ida-e"):
+        try:
+            return ida(int(name[len("ida-e"):]) / 100.0)
+        except ValueError:
+            pass
+    raise SystemExit(f"unknown system {name!r}; use baseline, ida, or ida-eNN")
+
+
+def _build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ida-repro run",
+        description="Run one (system, workload) simulation with observability.",
+    )
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    parser.add_argument("--workload", default="usr_1", help="workload name (Table III)")
+    parser.add_argument("--system", default="ida-e20",
+                        help="baseline, ida, or ida-eNN (default: ida-e20)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL event trace to PATH")
+    parser.add_argument("--interval-us", type=float, default=None, metavar="N",
+                        help="collect an interval time-series every N simulated us")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write the run manifest (JSON) to PATH")
+    return parser
+
+
+def _cmd_run(argv: list[str]) -> int:
+    from .experiments.reporting import manifest_for_run, write_run_manifest
+    from .experiments.runner import run_workload
+    from .workloads import workload
+
+    args = _build_run_parser().parse_args(argv)
+    system = _parse_system(args.system)
+    try:
+        spec = workload(args.workload)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    scale = _SCALES[args.scale]()
+    if args.interval_us is not None and args.interval_us <= 0:
+        raise SystemExit("--interval-us must be positive")
+
+    tracer = Tracer(JsonlSink(args.trace)) if args.trace else None
+    collector = (
+        IntervalCollector(args.interval_us) if args.interval_us else None
+    )
+    started = time.time()
+    result = run_workload(
+        system, spec, scale, seed=args.seed, tracer=tracer, collector=collector
+    )
+    elapsed = time.time() - started
+    if tracer is not None:
+        tracer.close()
+
+    read = result.metrics.read_response.summary()
+    print(f"{system.name} on {args.workload} @ {args.scale} "
+          f"({elapsed:.1f}s wall, seed {args.seed})")
+    print(f"  reads : {read['count']}  mean {read['mean_us']:.1f} us  "
+          f"p95 {read['p95_us']:.1f} us  p99 {read['p99_us']:.1f} us")
+    print(f"  writes: {result.metrics.write_response.count}  "
+          f"mean {result.metrics.write_response.mean_us:.1f} us")
+    print(f"  throughput: {result.throughput_mb_s:.2f} MB/s  "
+          f"utilisation: die {result.utilisation.get('die', 0.0):.1%} / "
+          f"channel {result.utilisation.get('channel', 0.0):.1%}")
+    if tracer is not None:
+        print(f"  trace : {args.trace} ({tracer.events_emitted} events)")
+    if collector is not None:
+        print(f"  series: {len(collector.snapshots)} intervals of "
+              f"{args.interval_us:.0f} us")
+    if args.report:
+        manifest = manifest_for_run(
+            result, collector=collector, trace_path=args.trace
+        )
+        path = write_run_manifest(manifest, args.report)
+        print(f"  report: {path} (config {manifest['config_hash']})")
+    return 0
+
+
+def _cmd_inspect(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ida-repro inspect",
+        description="Summarise a JSONL trace: slowest reads, utilisation.",
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many slowest reads to show (default: 10)")
+    args = parser.parse_args(argv)
+    import json
+
+    try:
+        events = load_trace(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"trace file not found: {args.trace}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"{args.trace} is not a JSONL trace: {exc}"
+        ) from None
+    print(format_trace_summary(events, top=args.top))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return _cmd_run(argv[1:])
+    if argv and argv[0] == "inspect":
+        return _cmd_inspect(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):

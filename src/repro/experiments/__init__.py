@@ -19,7 +19,15 @@ from .fig9_dtr_sensitivity import Fig9Result, format_fig9, run_fig9
 from .fig10_throughput import Fig10Result, format_fig10, run_fig10
 from .fig11_read_retry import Fig11Result, LifetimePhase, format_fig11, run_fig11
 from .qlc_extension import QlcResult, format_qlc, run_qlc_extension
-from .reporting import ascii_table, format_pct
+from .reporting import (
+    ascii_table,
+    build_run_manifest,
+    config_hash,
+    format_pct,
+    manifest_for_run,
+    metrics_summary,
+    write_run_manifest,
+)
 from .runner import (
     RunResult,
     improvement_pct,
@@ -66,6 +74,11 @@ __all__ = [
     "run_qlc_extension",
     "ascii_table",
     "format_pct",
+    "build_run_manifest",
+    "config_hash",
+    "manifest_for_run",
+    "metrics_summary",
+    "write_run_manifest",
     "RunResult",
     "improvement_pct",
     "normalized_read_response",

@@ -142,6 +142,24 @@ class RunScale:
         return _replace(geometry, **kwargs)
 
     @classmethod
+    def tiny(cls) -> "RunScale":
+        """Smallest viable scale: CI smoke runs and traced examples.
+
+        Four planes of 12 blocks give refresh and GC whole blocks to
+        work on while a full run (preload + trace + drain) stays well
+        under a second.
+        """
+        return cls(
+            num_requests=400,
+            footprint_pages=2500,
+            blocks_per_plane=12,
+            channels=1,
+            chips_per_channel=2,
+            dies_per_chip=1,
+            planes_per_die=2,
+        )
+
+    @classmethod
     def quick(cls) -> "RunScale":
         """Small scale for unit/integration tests (sub-second runs)."""
         return cls(

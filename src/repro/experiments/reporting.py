@@ -1,10 +1,40 @@
-"""Plain-text tables for the benchmark harness and the CLI."""
+"""Run reporting: plain-text tables and structured run manifests.
+
+Two audiences share this module.  The benchmark harness and CLI want
+aligned ASCII tables (:func:`ascii_table`); experiment automation wants a
+*machine-readable artifact per run* — a JSON manifest bundling the exact
+configuration (hashed for cache keys and regression bisection), the seed,
+the end-of-run metrics, and an optional interval time-series.  Anything
+that shows up in a paper figure should be reconstructible from the
+manifest alone.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
 
-__all__ = ["ascii_table", "format_pct"]
+from ..obs.tracer import SCHEMA_VERSION
+from ..sim.metrics import SimMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.interval import IntervalCollector
+    from .runner import RunResult
+
+__all__ = [
+    "ascii_table",
+    "format_pct",
+    "jsonable",
+    "config_hash",
+    "metrics_summary",
+    "build_run_manifest",
+    "manifest_for_run",
+    "write_run_manifest",
+]
 
 
 def format_pct(value: float, digits: int = 1) -> str:
@@ -29,3 +59,151 @@ def ascii_table(
     lines.append("  ".join("-" * width for width in widths))
     lines.extend(fmt(row) for row in cells[1:])
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Run manifests
+# ----------------------------------------------------------------------
+def jsonable(obj: object) -> object:
+    """Recursively convert dataclasses / enums / tuples to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    return obj
+
+
+def config_hash(config: dict) -> str:
+    """Short stable hash of a JSON-able config dict.
+
+    Two runs with equal hashes ran the same (system, workload, scale,
+    seed) — the key experiment caches and regression bisection group by.
+    """
+    canonical = json.dumps(jsonable(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def metrics_summary(metrics: SimMetrics) -> dict:
+    """One run's :class:`SimMetrics` as a JSON-ready summary."""
+    mix = metrics.read_mix
+    return {
+        "read_response": metrics.read_response.summary(),
+        "write_response": metrics.write_response.summary(),
+        "throughput_mb_s": metrics.throughput_mb_s(),
+        "read_throughput_mb_s": metrics.read_throughput_mb_s(),
+        "elapsed_us": metrics.elapsed_us,
+        "bytes_read": metrics.bytes_read,
+        "bytes_written": metrics.bytes_written,
+        "read_mix": {
+            "total": mix.total,
+            "by_type": {str(bit): count for bit, count in sorted(mix.by_type.items())},
+            "csb_with_invalid_lsb": mix.csb_with_invalid_lsb,
+            "msb_with_invalid_lower": mix.msb_with_invalid_lower,
+            "ida_fast_reads": mix.ida_fast_reads,
+        },
+        "counters": {
+            "gc_invocations": metrics.gc_invocations,
+            "gc_page_moves": metrics.gc_page_moves,
+            "block_erases": metrics.block_erases,
+            "refresh_invocations": metrics.refresh_invocations,
+            "refresh_page_moves": metrics.refresh_page_moves,
+            "refresh_adjusted_wordlines": metrics.refresh_adjusted_wordlines,
+            "refresh_reprogrammed_pages": metrics.refresh_reprogrammed_pages,
+            "refresh_corrupted_pages": metrics.refresh_corrupted_pages,
+            "refresh_extra_reads": metrics.refresh_extra_reads,
+            "read_retries": metrics.read_retries,
+            "unmapped_reads": metrics.unmapped_reads,
+        },
+    }
+
+
+def build_run_manifest(
+    config: dict,
+    metrics: SimMetrics,
+    *,
+    utilisation: dict | None = None,
+    queue_wait: dict | None = None,
+    collector: "IntervalCollector | None" = None,
+    trace_path: str | Path | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble a run manifest from its parts.
+
+    ``config`` is whatever identifies the run (system, workload, scale,
+    seed, trace file, ...); it is hashed verbatim.  Use
+    :func:`manifest_for_run` when you have a full :class:`RunResult`.
+    """
+    manifest: dict = {
+        "kind": "run_manifest",
+        "schema": SCHEMA_VERSION,
+        "config": jsonable(config),
+        "config_hash": config_hash(config),
+        "metrics": metrics_summary(metrics),
+    }
+    if utilisation is not None:
+        manifest["utilisation"] = jsonable(utilisation)
+    if queue_wait is not None:
+        manifest["queue_wait"] = jsonable(queue_wait)
+    if collector is not None:
+        manifest["time_series"] = {
+            "summary": collector.summary(),
+            "intervals": collector.time_series(),
+        }
+    if trace_path is not None:
+        manifest["trace_path"] = str(trace_path)
+    if extra:
+        manifest.update(jsonable(extra))  # type: ignore[arg-type]
+    return manifest
+
+
+def manifest_for_run(
+    result: "RunResult",
+    *,
+    collector: "IntervalCollector | None" = None,
+    trace_path: str | Path | None = None,
+) -> dict:
+    """Manifest for one :class:`~repro.experiments.runner.RunResult`."""
+    config = {
+        "system": jsonable(result.system),
+        "workload": jsonable(result.workload),
+        "scale": jsonable(result.scale) if result.scale is not None else None,
+        "seed": result.seed,
+    }
+    return build_run_manifest(
+        config,
+        result.metrics,
+        utilisation=result.utilisation or None,
+        queue_wait=result.queue_wait or None,
+        collector=collector,
+        trace_path=trace_path,
+        extra={
+            "refresh": {
+                "blocks_refreshed": len(result.refresh_reports),
+                "extra_reads": sum(r.extra_reads for r in result.refresh_reports),
+                "extra_writes": sum(r.extra_writes for r in result.refresh_reports),
+            },
+            "blocks": {
+                "in_use": result.in_use_blocks,
+                "ida": result.ida_blocks,
+            },
+        },
+    )
+
+
+def write_run_manifest(manifest: dict, path: str | Path) -> Path:
+    """Write a manifest as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return target

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 from ..ftl.gc import GcPolicy
 from ..ftl.refresh import RefreshPolicy, RefreshReport
+from ..obs.interval import IntervalCollector
+from ..obs.tracer import Tracer
 from ..sim.metrics import SimMetrics
 from ..sim.scheduler import HostRequest
 from ..sim.ssd import SsdSimulator
@@ -42,6 +44,9 @@ class RunResult:
         metrics: Simulator metrics (latencies, throughput, counters).
         refresh_reports: Per-block refresh accounting (Table IV).
         in_use_blocks / ida_blocks: Post-run block census (Sec. III-C).
+        utilisation: Mean die / channel utilisation over the run.
+        queue_wait: Per resource class and priority queue-wait totals.
+        scale / seed: The run's scale and RNG seed (for the manifest).
     """
 
     system: SystemSpec
@@ -50,6 +55,10 @@ class RunResult:
     refresh_reports: list[RefreshReport] = field(default_factory=list)
     in_use_blocks: int = 0
     ida_blocks: int = 0
+    utilisation: dict = field(default_factory=dict)
+    queue_wait: dict = field(default_factory=dict)
+    scale: RunScale | None = None
+    seed: int = 11
 
     @property
     def mean_read_response_us(self) -> float:
@@ -82,6 +91,8 @@ def build_simulator(
     scale: RunScale,
     duration_us: float,
     seed: int = 11,
+    tracer: Tracer | None = None,
+    collector: IntervalCollector | None = None,
 ) -> SsdSimulator:
     """Assemble a simulator for one system at one scale."""
     dev = _build_device(system, scale)
@@ -100,6 +111,8 @@ def build_simulator(
         retry_model=system.retry_model(),
         seed=seed,
         allocation=system.allocation,
+        tracer=tracer,
+        collector=collector,
     )
 
 
@@ -125,12 +138,16 @@ def run_workload(
     spec: WorkloadSpec,
     scale: RunScale | None = None,
     seed: int = 11,
+    tracer: Tracer | None = None,
+    collector: IntervalCollector | None = None,
 ) -> RunResult:
     """Execute one (system, workload) pair end to end."""
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
-    sim = build_simulator(system, scale, spec.duration_us, seed=seed)
+    sim = build_simulator(
+        system, scale, spec.duration_us, seed=seed, tracer=tracer, collector=collector
+    )
     page_size = sim.geometry.page_size_bytes
 
     period_us = sim.ftl.refresh_policy.period_us
@@ -169,6 +186,10 @@ def run_workload(
         refresh_reports=list(sim.ftl.refresh_reports),
         in_use_blocks=sim.ftl.table.in_use_blocks(),
         ida_blocks=sim.ftl.table.ida_blocks(),
+        utilisation=sim.utilisation_report(),
+        queue_wait=sim.queue_wait_report(),
+        scale=scale,
+        seed=seed,
     )
 
 
@@ -178,6 +199,8 @@ def run_workload_closed_loop(
     scale: RunScale | None = None,
     queue_depth: int = 32,
     seed: int = 11,
+    tracer: Tracer | None = None,
+    collector: IntervalCollector | None = None,
 ) -> RunResult:
     """Closed-loop variant of :func:`run_workload` (Fig. 10 throughput).
 
@@ -187,7 +210,9 @@ def run_workload_closed_loop(
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
-    sim = build_simulator(system, scale, spec.duration_us, seed=seed)
+    sim = build_simulator(
+        system, scale, spec.duration_us, seed=seed, tracer=tracer, collector=collector
+    )
     page_size = sim.geometry.page_size_bytes
 
     period_us = sim.ftl.refresh_policy.period_us
@@ -204,6 +229,10 @@ def run_workload_closed_loop(
         refresh_reports=list(sim.ftl.refresh_reports),
         in_use_blocks=sim.ftl.table.in_use_blocks(),
         ida_blocks=sim.ftl.table.ida_blocks(),
+        utilisation=sim.utilisation_report(),
+        queue_wait=sim.queue_wait_report(),
+        scale=scale,
+        seed=seed,
     )
 
 

@@ -26,6 +26,7 @@ from ..flash.block import CONVENTIONAL_WL, Block
 from ..flash.errors import AdjustDisturbModel
 from ..flash.geometry import Geometry
 from ..flash.plane import PlanePool
+from ..obs.tracer import NULL_TRACER, Tracer
 from .allocation import StaticAllocator
 from .blockstatus import BlockStatusTable
 from .gc import GcPolicy, select_victim
@@ -76,6 +77,8 @@ class Ftl:
         gc_policy: GC watermarks.
         rng: Seeded generator driving the adjustment-disturb sampling.
         allocation: Static allocation strategy name ("cwdp" or "pdwc").
+        tracer: Structured event tracer for GC / refresh / IDA-adjust
+            events; ``None`` disables (the null fast path).
     """
 
     def __init__(
@@ -86,6 +89,7 @@ class Ftl:
         gc_policy: GcPolicy | None = None,
         rng: np.random.Generator | None = None,
         allocation: str = "cwdp",
+        tracer: Tracer | None = None,
     ) -> None:
         self.geometry = geometry
         self.coding = coding
@@ -98,6 +102,7 @@ class Ftl:
         self.disturb = AdjustDisturbModel(refresh_policy.error_rate)
         self.counters = FtlCounters()
         self.refresh_reports: list[RefreshReport] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Host path
@@ -191,6 +196,15 @@ class Ftl:
             report.n_adjusted_wordlines += 1
             self.counters.refresh_adjusted_wordlines += 1
             kept_pages.extend(wl_plan.pages_to_keep)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now_us,
+                    "ida_adjust",
+                    block=block.index,
+                    wordline=wl_plan.wordline,
+                    start_bit=start_bit,
+                    kept_pages=len(wl_plan.pages_to_keep),
+                )
 
         # Step 5-6: re-read the reprogrammed pages to check for disturb.
         report.n_target = len(kept_pages)
@@ -212,6 +226,18 @@ class Ftl:
             block.programmed_at_us = now_us
         block.locked = False
         self.refresh_reports.append(report)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now_us,
+                "refresh",
+                block=block.index,
+                mode=self.refresh_policy.mode.value,
+                n_valid=report.n_valid,
+                n_moved=report.n_moved,
+                n_target=report.n_target,
+                n_error=report.n_error,
+                n_adjusted_wordlines=report.n_adjusted_wordlines,
+            )
         return ops
 
     # ------------------------------------------------------------------
@@ -293,6 +319,7 @@ class Ftl:
         """Reclaim one victim block (GREEDY wear-aware GC)."""
         ops: list[PhysOp] = []
         self.counters.gc_invocations += 1
+        moves_before = self.counters.gc_page_moves
         for page in victim.valid_pages():
             ops.append(self._internal_read_op(victim, page))
             old_ppn = self.geometry.page_number(victim.index, page)
@@ -311,4 +338,12 @@ class Ftl:
         pool.release(in_plane)
         ops.append(PhysOp(kind=OpKind.ERASE, block_index=victim.index))
         self.counters.block_erases += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now_us,
+                "gc",
+                block=victim.index,
+                plane=pool.plane_index,
+                moved_pages=self.counters.gc_page_moves - moves_before,
+            )
         return ops

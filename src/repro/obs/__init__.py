@@ -1,0 +1,51 @@
+"""Observability: event tracing, interval time-series, trace inspection.
+
+The simulator's measurement story has two layers.  :mod:`repro.sim.metrics`
+keeps the end-of-run aggregates the paper's tables are built from; this
+package records *how a run behaved* — per-request lifecycle spans (queue
+wait vs sense vs transfer vs ECC), GC / refresh / IDA-reprogram events,
+and periodic samples of queue depths, utilisation and latency histograms.
+All of it is opt-in and passive: a run with the default
+:data:`NULL_TRACER` and no collector is behaviourally and metrically
+identical to an uninstrumented one.
+
+See ``docs/observability.md`` for the event schema and a worked example.
+"""
+
+from .histogram import Histogram, default_latency_bounds
+from .inspect import (
+    TraceSummary,
+    format_trace_summary,
+    load_trace,
+    summarize_trace,
+)
+from .interval import IntervalCollector, IntervalSnapshot
+from .tracer import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    TraceSink,
+    Tracer,
+    read_jsonl_trace,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl_trace",
+    "Histogram",
+    "default_latency_bounds",
+    "IntervalCollector",
+    "IntervalSnapshot",
+    "TraceSummary",
+    "load_trace",
+    "summarize_trace",
+    "format_trace_summary",
+]

@@ -1,0 +1,133 @@
+"""Offline trace analysis: the engine behind ``ida-repro inspect``.
+
+Reads a JSONL trace produced by :class:`~repro.obs.tracer.JsonlSink`
+and answers the two questions an SSD-simulation trace exists for:
+*which reads were slow* (top-k with per-stage breakdown: queue wait vs
+sense vs transfer vs ECC) and *what the device was doing* (event mix,
+GC/refresh/IDA activity, end-of-run utilisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .tracer import SCHEMA_VERSION, read_jsonl_trace
+
+__all__ = ["TraceSummary", "load_trace", "summarize_trace", "format_trace_summary"]
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Load a JSONL trace file into event dicts (alias of the reader)."""
+    return read_jsonl_trace(path)
+
+
+@dataclass
+class TraceSummary:
+    """Everything the inspector extracts from one trace."""
+
+    schema: int | None = None
+    event_counts: dict[str, int] = field(default_factory=dict)
+    slowest_reads: list[dict] = field(default_factory=list)
+    read_count: int = 0
+    mean_read_response_us: float = 0.0
+    refresh_blocks: int = 0
+    refresh_pages_moved: int = 0
+    ida_adjusts: int = 0
+    gc_passes: int = 0
+    utilisation: dict[str, float] = field(default_factory=dict)
+
+
+def summarize_trace(events: Sequence[dict], top: int = 10) -> TraceSummary:
+    """Digest raw trace events into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    reads: list[dict] = []
+    response_total = 0.0
+    for event in events:
+        kind = event.get("kind", "?")
+        summary.event_counts[kind] = summary.event_counts.get(kind, 0) + 1
+        if kind == "trace_header":
+            summary.schema = event.get("schema")
+        elif kind == "read_span":
+            reads.append(event)
+            response_total += event.get("response_us", 0.0)
+        elif kind == "refresh":
+            summary.refresh_blocks += 1
+            summary.refresh_pages_moved += event.get("n_moved", 0)
+        elif kind == "ida_adjust":
+            summary.ida_adjusts += 1
+        elif kind == "gc":
+            summary.gc_passes += 1
+        elif kind == "run_end":
+            summary.utilisation = event.get("utilisation", {})
+    summary.read_count = len(reads)
+    if reads:
+        summary.mean_read_response_us = response_total / len(reads)
+    reads.sort(key=lambda e: e.get("response_us", 0.0), reverse=True)
+    summary.slowest_reads = reads[: max(0, top)]
+    return summary
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_trace_summary(events: Sequence[dict], top: int = 10) -> str:
+    """Human-readable report for a trace (the ``inspect`` output)."""
+    summary = summarize_trace(events, top=top)
+    lines: list[str] = []
+    schema = summary.schema if summary.schema is not None else "unversioned"
+    lines.append(f"trace: {sum(summary.event_counts.values())} events (schema {schema}, current {SCHEMA_VERSION})")
+    for kind in sorted(summary.event_counts):
+        lines.append(f"  {kind:14s} {summary.event_counts[kind]}")
+    lines.append("")
+
+    if summary.slowest_reads:
+        lines.append(
+            f"top {len(summary.slowest_reads)} slowest reads "
+            f"(of {summary.read_count}, mean {summary.mean_read_response_us:.1f} us):"
+        )
+        rows = []
+        for event in summary.slowest_reads:
+            critical = event.get("critical", {})
+            wait = critical.get("queue_wait_us", 0.0)
+            rows.append(
+                [
+                    event.get("request_id", "?"),
+                    f"{event.get('arrival_us', 0.0):.0f}",
+                    f"{event.get('response_us', 0.0):.1f}",
+                    event.get("pages", 0),
+                    f"{wait:.1f}",
+                    f"{critical.get('sense_us', 0.0):.1f}",
+                    f"{critical.get('transfer_us', 0.0):.1f}",
+                    f"{critical.get('ecc_us', 0.0):.1f}",
+                ]
+            )
+        lines.append(
+            _table(
+                ["req", "arrival_us", "response_us", "pages", "wait_us",
+                 "sense_us", "xfer_us", "ecc_us"],
+                rows,
+            )
+        )
+        lines.append("")
+    else:
+        lines.append("no read spans in trace")
+        lines.append("")
+
+    if summary.refresh_blocks or summary.gc_passes or summary.ida_adjusts:
+        lines.append(
+            f"background: {summary.gc_passes} GC passes, "
+            f"{summary.refresh_blocks} refreshes "
+            f"({summary.refresh_pages_moved} pages moved), "
+            f"{summary.ida_adjusts} IDA wordline adjustments"
+        )
+    if summary.utilisation:
+        rows = [[name, f"{value:.1%}"] for name, value in sorted(summary.utilisation.items())]
+        lines.append(_table(["resource", "utilisation"], rows))
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,156 @@
+"""Structured event tracing with pluggable sinks.
+
+The simulator emits one JSON-able dict per interesting occurrence — a host
+request completing (with its per-page stage breakdown), a GC pass, a
+refresh pass, an IDA voltage adjustment — stamped with *simulated* time.
+Tracing is opt-in: the default :data:`NULL_TRACER` advertises
+``enabled = False`` so every instrumentation site reduces to a single
+attribute check and uninstrumented runs stay within noise of the
+pre-tracing simulator (see ``benchmarks/bench_obs_overhead.py``).
+
+Event schema (one dict per event, ``kind`` discriminates):
+
+* every event carries ``kind`` (str) and ``t_us`` (simulated time);
+* the first event of a trace is a ``trace_header`` carrying
+  ``schema`` = :data:`SCHEMA_VERSION`;
+* see ``docs/observability.md`` for the per-kind field tables.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_jsonl_trace",
+]
+
+#: Version of the trace-event and run-manifest schema.  Bump when the
+#: field layout of any event kind changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class TraceSink:
+    """Where trace events go.  Subclasses override :meth:`write`."""
+
+    def write(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resources (idempotent)."""
+
+
+class MemorySink(TraceSink):
+    """In-memory sink; optionally a bounded ring buffer.
+
+    Args:
+        capacity: Keep only the most recent ``capacity`` events
+            (``None`` = unbounded).  A ring buffer lets long runs trace
+            "the last N events before the interesting thing happened"
+            without unbounded growth.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None)")
+        self.events: deque[dict] = deque(maxlen=capacity)
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: str) -> list[dict]:
+        """All retained events of one kind, in emission order."""
+        return [e for e in self.events if e.get("kind") == kind]
+
+
+class JsonlSink(TraceSink):
+    """Append events to a JSON-lines file, one compact object per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def write(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":")))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class Tracer:
+    """Front-end the simulator emits events through.
+
+    Writes a ``trace_header`` event (carrying the schema version) to the
+    sink on construction, then forwards every :meth:`emit` as a flat
+    dict.  Hot paths must guard on :attr:`enabled` before building event
+    payloads so the disabled case costs one attribute load.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+        self.events_emitted = 0
+        sink.write({"kind": "trace_header", "t_us": 0.0, "schema": SCHEMA_VERSION})
+
+    def emit(self, time_us: float, kind: str, **fields: object) -> None:
+        """Record one event at simulated ``time_us``."""
+        event: dict = {"kind": kind, "t_us": time_us}
+        event.update(fields)
+        self.sink.write(event)
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every emit is a no-op, no sink, no header."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.sink = None  # type: ignore[assignment]
+        self.events_emitted = 0
+
+    def emit(self, time_us: float, kind: str, **fields: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled tracer; the simulator default.  Stateless, safe to share.
+NULL_TRACER = NullTracer()
+
+
+def read_jsonl_trace(path: str | Path) -> list[dict]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    return list(iter_jsonl_trace(path))
+
+
+def iter_jsonl_trace(path: str | Path) -> Iterator[dict]:
+    """Stream a JSONL trace file without holding it all in memory."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -20,11 +20,20 @@ class SimEngine:
     order; callbacks may schedule further events.
     """
 
+    #: Scheduling slop absorbed silently: ``after()`` chains accumulate
+    #: float round-off, so a callback computing an absolute time from an
+    #: earlier ``now`` can land a hair in the past.  Deltas within this
+    #: tolerance (absolute, or a few ulps at large clock values) clamp to
+    #: ``now``; anything larger is a real scheduling bug and still raises.
+    PAST_TOLERANCE_US = 1e-9
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._processed = 0
+        self._peak_pending = 0
+        self._prev_now = 0.0
 
     @property
     def pending(self) -> int:
@@ -36,18 +45,33 @@ class SimEngine:
         """Number of events fired so far."""
         return self._processed
 
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of the event queue (for run reports)."""
+        return self._peak_pending
+
     def at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute ``time``.
 
+        Times a round-off hair in the past (see :data:`PAST_TOLERANCE_US`)
+        are clamped to ``now``.
+
         Raises:
-            ValueError: if ``time`` lies in the past.
+            ValueError: if ``time`` lies genuinely in the past.
         """
         if time < self.now:
-            raise ValueError(
-                f"cannot schedule at {time} (now is {self.now})"
-            )
+            if self.now - time <= max(
+                self.PAST_TOLERANCE_US, abs(self.now) * 1e-12
+            ):
+                time = self.now
+            else:
+                raise ValueError(
+                    f"cannot schedule at {time} (now is {self.now})"
+                )
         heapq.heappush(self._queue, (time, self._sequence, callback))
         self._sequence += 1
+        if len(self._queue) > self._peak_pending:
+            self._peak_pending = len(self._queue)
 
     def after(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` after ``delay`` microseconds."""
@@ -66,6 +90,7 @@ class SimEngine:
             if until is not None and time > until:
                 break
             heapq.heappop(self._queue)
+            self._prev_now = self.now
             self.now = time
             self._processed += 1
             callback()
@@ -77,7 +102,23 @@ class SimEngine:
         if not self._queue:
             return False
         time, _, callback = heapq.heappop(self._queue)
+        self._prev_now = self.now
         self.now = time
         self._processed += 1
         callback()
         return True
+
+    def rewind_to_previous_event(self) -> None:
+        """Roll the clock back to the event before the current one.
+
+        For pure-observer callbacks (sampling ticks) that outlive the real
+        workload: the tick's own firing advanced ``now`` past the last
+        event that did anything, which would leak into elapsed-time
+        metrics.  Only legal once everything has drained.
+
+        Raises:
+            RuntimeError: if events are still pending.
+        """
+        if self._queue:
+            raise RuntimeError("can only rewind when no events are pending")
+        self.now = self._prev_now

@@ -15,17 +15,24 @@ __all__ = ["LatencyStats", "ReadMixCounters", "SimMetrics"]
 
 
 class LatencyStats:
-    """Streaming latency statistics with exact percentiles on demand."""
+    """Streaming latency statistics with exact percentiles on demand.
+
+    The sorted order is computed lazily and cached, so reporting code can
+    query several percentiles (``summary()`` asks for three) at the cost
+    of one sort; ``add`` invalidates the cache.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
         self._total = 0.0
+        self._sorted: list[float] | None = None
 
     def add(self, value_us: float) -> None:
         if value_us < 0:
             raise ValueError("latencies must be non-negative")
         self._samples.append(value_us)
         self._total += value_us
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -45,13 +52,25 @@ class LatencyStats:
             raise ValueError("q must be in (0, 100]")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(q / 100 * len(ordered)))
-        return ordered[rank - 1]
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(1, math.ceil(q / 100 * len(self._sorted)))
+        return self._sorted[rank - 1]
 
     @property
     def max_us(self) -> float:
         return max(self._samples) if self._samples else 0.0
+
+    def summary(self) -> dict:
+        """Count / mean / p50 / p95 / p99 / max as a JSON-ready dict."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "p50_us": self.percentile(50),
+            "p95_us": self.percentile(95),
+            "p99_us": self.percentile(99),
+            "max_us": self.max_us,
+        }
 
 
 @dataclass

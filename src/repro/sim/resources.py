@@ -33,6 +33,7 @@ class IoPriority(IntEnum):
 class _PendingOp:
     duration: float
     on_done: Callable[[float, float], None]
+    enqueued_us: float
 
 
 class Resource:
@@ -55,6 +56,12 @@ class Resource:
         self._queues: tuple[deque[_PendingOp], ...] = tuple(
             deque() for _ in IoPriority
         )
+        # Queue-wait accounting per dispatch class: how long ops of each
+        # priority sat queued before service.  Always on (two float ops
+        # per dispatch) — it is what separates "the die was slow" from
+        # "the die was busy with someone else's work" in run reports.
+        self._ops_served = [0] * len(IoPriority)
+        self._wait_us = [0.0] * len(IoPriority)
 
     @property
     def is_busy(self) -> bool:
@@ -85,14 +92,18 @@ class Resource:
         # resource is momentarily idle (e.g. from a completion callback
         # that chains background work) must not jump ahead of
         # higher-priority operations already waiting.
-        self._queues[priority].append(_PendingOp(duration, on_done))
+        self._queues[priority].append(
+            _PendingOp(duration, on_done, self.engine.now)
+        )
         self._dispatch_next()
 
-    def _start(self, op: _PendingOp) -> None:
+    def _start(self, op: _PendingOp, priority: int) -> None:
         self._busy = True
         start = self.engine.now
         end = start + op.duration
         self.busy_us += op.duration
+        self._ops_served[priority] += 1
+        self._wait_us[priority] += start - op.enqueued_us
 
         def finish() -> None:
             self._busy = False
@@ -104,9 +115,9 @@ class Resource:
     def _dispatch_next(self) -> None:
         if self._busy:
             return
-        for queue in self._queues:
+        for priority, queue in enumerate(self._queues):
             if queue:
-                self._start(queue.popleft())
+                self._start(queue.popleft(), priority)
                 return
 
     def utilisation(self, elapsed_us: float) -> float:
@@ -114,3 +125,16 @@ class Resource:
         if elapsed_us <= 0:
             return 0.0
         return min(1.0, self.busy_us / elapsed_us)
+
+    def queue_wait_stats(self) -> dict[str, dict[str, float]]:
+        """Per-priority queue-wait accounting (served ops only)."""
+        stats: dict[str, dict[str, float]] = {}
+        for priority in IoPriority:
+            ops = self._ops_served[priority]
+            wait = self._wait_us[priority]
+            stats[priority.name.lower()] = {
+                "ops": ops,
+                "total_wait_us": wait,
+                "mean_wait_us": wait / ops if ops else 0.0,
+            }
+        return stats

@@ -39,6 +39,8 @@ from ..ftl.ftl import Ftl
 from ..ftl.gc import GcPolicy
 from ..ftl.ops import OpKind, PhysOp
 from ..ftl.refresh import RefreshPolicy
+from ..obs.interval import IntervalCollector
+from ..obs.tracer import NULL_TRACER, Tracer
 from .engine import SimEngine
 from .metrics import SimMetrics
 from .resources import IoPriority, Resource
@@ -57,6 +59,83 @@ class _NullCompletion:
         self.count += 1
 
 
+@dataclass
+class _PageStages:
+    """Stage timings of one traced page op as it moves through the pipe."""
+
+    block: int
+    page: int
+    senses: int
+    retries: int
+    submit_us: float
+    queue_wait_us: float = 0.0  # die wait + channel wait, accumulated
+    sense_us: float = 0.0
+    transfer_us: float = 0.0
+    ecc_us: float = 0.0
+    program_us: float = 0.0
+    end_us: float = 0.0
+    _stage_submit_us: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "block": self.block,
+            "page": self.page,
+            "senses": self.senses,
+            "retries": self.retries,
+            "queue_wait_us": self.queue_wait_us,
+            "sense_us": self.sense_us,
+            "transfer_us": self.transfer_us,
+            "ecc_us": self.ecc_us,
+            "program_us": self.program_us,
+            "end_us": self.end_us,
+        }
+
+
+class _RequestSpan:
+    """Collects per-page stage records for one traced host request.
+
+    Page records are appended as their pipelines complete, so when the
+    request's last page op finishes (triggering completion) the final
+    record is the critical-path page: its stages, by construction, tile
+    the whole ``arrival -> completion`` window.
+    """
+
+    __slots__ = ("request", "pages")
+
+    def __init__(self, request: HostRequest) -> None:
+        self.request = request
+        self.pages: list[_PageStages] = []
+
+    def add_page(self, record: _PageStages) -> None:
+        self.pages.append(record)
+
+    def emit(
+        self,
+        tracer: Tracer,
+        kind: str,
+        complete_us: float,
+        host_overhead_us: float,
+    ) -> None:
+        critical = self.pages[-1] if self.pages else None
+        payload: dict = {
+            "request_id": self.request.request_id,
+            "arrival_us": self.request.arrival_us,
+            "response_us": complete_us - self.request.arrival_us + host_overhead_us,
+            "pages": len(self.pages),
+        }
+        if critical is not None:
+            payload["critical"] = {
+                "queue_wait_us": critical.queue_wait_us,
+                "sense_us": critical.sense_us,
+                "transfer_us": critical.transfer_us,
+                "ecc_us": critical.ecc_us,
+                "program_us": critical.program_us,
+                "host_overhead_us": host_overhead_us,
+            }
+        payload["stages"] = [page.to_dict() for page in self.pages]
+        tracer.emit(complete_us, kind, **payload)
+
+
 class SsdSimulator:
     """Event-driven SSD with an (optionally IDA-enabled) FTL.
 
@@ -70,6 +149,11 @@ class SsdSimulator:
             ``None`` or ``fail_prob = 0`` disables retries.
         seed: RNG seed for disturb and retry sampling.
         allocation: Static allocation strategy name.
+        tracer: Structured event tracer; ``None`` = tracing disabled
+            (the null fast path).  Tracing is passive: it never schedules
+            events, touches RNG streams, or alters metrics.
+        collector: Optional interval time-series collector; bound to
+            this simulator's engine and resources, started per run.
     """
 
     def __init__(
@@ -82,11 +166,15 @@ class SsdSimulator:
         retry_model: ReadRetryModel | None = None,
         seed: int = 1,
         allocation: str = "cwdp",
+        tracer: Tracer | None = None,
+        collector: IntervalCollector | None = None,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
         self.engine = SimEngine()
         self.metrics = SimMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.collector = collector
         self.retry_model = retry_model or ReadRetryModel(fail_prob=0.0)
         # Common random numbers: host reads draw retry counts from their
         # own stream, so paired baseline/IDA runs of the same trace see
@@ -102,6 +190,7 @@ class SsdSimulator:
             gc_policy=gc_policy,
             rng=np.random.default_rng(seed + 1),
             allocation=allocation,
+            tracer=self.tracer,
         )
         self.dies = [
             Resource(self.engine, f"die{d}") for d in range(geometry.total_dies)
@@ -110,6 +199,8 @@ class SsdSimulator:
             Resource(self.engine, f"chan{c}") for c in range(geometry.channels)
         ]
         self._internal_sink = _NullCompletion()
+        if self.collector is not None:
+            self.collector.bind(self.engine, self.dies, self.channels)
 
     # ------------------------------------------------------------------
     # Preconditioning
@@ -170,10 +261,12 @@ class SsdSimulator:
             self.engine.at(time_us, self._make_background_batch(list(lpns)))
         trace_end = ordered[-1].arrival_us
         self._schedule_refresh_daemon(trace_end)
+        self._begin_run("open_loop", len(ordered))
         self.engine.run()
         self.metrics.start_us = ordered[0].arrival_us
         self.metrics.end_us = self.engine.now
         self._fold_counters()
+        self._end_run()
         return self.metrics
 
     def run_closed_loop(
@@ -238,11 +331,41 @@ class SsdSimulator:
                 self.engine.after(interval, refresh_tick)
 
         self.engine.after(interval, refresh_tick)
+        self._begin_run("closed_loop", total)
         self.engine.run()
         self.metrics.start_us = 0.0
         self.metrics.end_us = self.engine.now
         self._fold_counters()
+        self._end_run()
         return self.metrics
+
+    def _begin_run(self, mode: str, n_requests: int) -> None:
+        if self.collector is not None:
+            self.collector.start()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now,
+                "run_start",
+                mode=mode,
+                requests=n_requests,
+                dies=len(self.dies),
+                channels=len(self.channels),
+            )
+
+    def _end_run(self) -> None:
+        if self.collector is not None:
+            self.collector.finish()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now,
+                "run_end",
+                elapsed_us=self.metrics.elapsed_us,
+                reads=self.metrics.read_response.count,
+                writes=self.metrics.write_response.count,
+                utilisation=self.utilisation_report(),
+                events_processed=self.engine.processed,
+                peak_pending_events=self.engine.peak_pending,
+            )
 
     def _make_background_batch(self, lpns: list[int]):
         def apply() -> None:
@@ -266,9 +389,12 @@ class SsdSimulator:
         for op in ops:
             assert op.bit is not None and op.wl_validity is not None
             self.metrics.read_mix.record(op.bit, op.wl_validity, op.from_ida)
+        span = _RequestSpan(request) if self.tracer.enabled else None
 
         def complete(req: HostRequest, now_us: float) -> None:
             self._complete_read(req, now_us)
+            if span is not None:
+                span.emit(self.tracer, "read_span", now_us, self.timing.host_overhead_us)
             if on_request_done is not None:
                 on_request_done()
 
@@ -278,7 +404,7 @@ class SsdSimulator:
             outstanding.page_done(end_us)
 
         for op in ops:
-            self._issue(op, IoPriority.HOST_READ, page_done)
+            self._issue(op, IoPriority.HOST_READ, page_done, span=span)
 
     def _dispatch_write(self, request: HostRequest, on_request_done=None) -> None:
         now = self.engine.now
@@ -287,9 +413,12 @@ class SsdSimulator:
             result = self.ftl.host_write(lpn, now)
             host_ops.extend(result.host_ops)
             self._issue_internal_sequence(result.internal_ops)
+        span = _RequestSpan(request) if self.tracer.enabled else None
 
         def complete(req: HostRequest, now_us: float) -> None:
             self._complete_write(req, now_us)
+            if span is not None:
+                span.emit(self.tracer, "write_span", now_us, self.timing.host_overhead_us)
             if on_request_done is not None:
                 on_request_done()
 
@@ -299,17 +428,21 @@ class SsdSimulator:
             outstanding.page_done(end_us)
 
         for op in host_ops:
-            self._issue(op, IoPriority.HOST_WRITE, page_done)
+            self._issue(op, IoPriority.HOST_WRITE, page_done, span=span)
 
     def _complete_read(self, request: HostRequest, now_us: float) -> None:
         response = now_us - request.arrival_us + self.timing.host_overhead_us
         self.metrics.read_response.add(response)
         self.metrics.bytes_read += request.size_bytes
+        if self.collector is not None:
+            self.collector.record_read(response, request.size_bytes)
 
     def _complete_write(self, request: HostRequest, now_us: float) -> None:
         response = now_us - request.arrival_us + self.timing.host_overhead_us
         self.metrics.write_response.add(response)
         self.metrics.bytes_written += request.size_bytes
+        if self.collector is not None:
+            self.collector.record_write(response, request.size_bytes)
 
     # ------------------------------------------------------------------
     # Refresh daemon
@@ -356,12 +489,12 @@ class SsdSimulator:
         channel = self.channels[self.geometry.channel_of_plane(plane)]
         return die, channel
 
-    def _issue(self, op: PhysOp, priority: IoPriority, on_done) -> None:
+    def _issue(self, op: PhysOp, priority: IoPriority, on_done, span=None) -> None:
         die, channel = self._route(op)
         if op.kind is OpKind.READ:
-            self._issue_read(op, priority, die, channel, on_done)
+            self._issue_read(op, priority, die, channel, on_done, span=span)
         elif op.kind is OpKind.WRITE:
-            self._issue_write(priority, die, channel, on_done)
+            self._issue_write(priority, die, channel, on_done, op=op, span=span)
         elif op.kind is OpKind.ADJUST:
             die.submit(priority, self.timing.adjust_us(), on_done)
         elif op.kind is OpKind.ERASE:
@@ -376,6 +509,7 @@ class SsdSimulator:
         die: Resource,
         channel: Resource,
         on_done,
+        span: _RequestSpan | None = None,
     ) -> None:
         # Retention-induced read retries hit long-stored data, i.e. host
         # reads.  Refresh-internal reads either target data about to be
@@ -398,14 +532,42 @@ class SsdSimulator:
         transfer_us = self.timing.transfer_us
         decode_us = self.timing.ecc_decode_us * passes
 
-        def after_transfer(start_us: float, end_us: float) -> None:
-            # Pipelined hardware ECC: latency only, no contention.
-            self.engine.at(end_us + decode_us, lambda: on_done(start_us, end_us + decode_us))
+        if span is None:
+            # Null-tracer fast path: identical to the uninstrumented pipe.
+            def after_transfer(start_us: float, end_us: float) -> None:
+                # Pipelined hardware ECC: latency only, no contention.
+                self.engine.at(end_us + decode_us, lambda: on_done(start_us, end_us + decode_us))
 
-        def after_sense(start_us: float, end_us: float) -> None:
-            channel.submit(priority, transfer_us, after_transfer)
+            def after_sense(start_us: float, end_us: float) -> None:
+                channel.submit(priority, transfer_us, after_transfer)
 
-        die.submit(priority, sense_us, after_sense)
+            die.submit(priority, sense_us, after_sense)
+            return
+
+        record = _PageStages(
+            op.block_index, op.page, op.senses, retries, submit_us=self.engine.now
+        )
+        record._stage_submit_us = record.submit_us
+
+        def after_transfer_traced(start_us: float, end_us: float) -> None:
+            record.queue_wait_us += start_us - record._stage_submit_us
+            record.transfer_us = end_us - start_us
+            record.ecc_us = decode_us
+            record.end_us = end_us + decode_us
+
+            def fire() -> None:
+                span.add_page(record)
+                on_done(start_us, end_us + decode_us)
+
+            self.engine.at(record.end_us, fire)
+
+        def after_sense_traced(start_us: float, end_us: float) -> None:
+            record.queue_wait_us += start_us - record._stage_submit_us
+            record.sense_us = end_us - start_us
+            record._stage_submit_us = end_us
+            channel.submit(priority, transfer_us, after_transfer_traced)
+
+        die.submit(priority, sense_us, after_sense_traced)
 
     def _issue_write(
         self,
@@ -413,11 +575,39 @@ class SsdSimulator:
         die: Resource,
         channel: Resource,
         on_done,
+        op: PhysOp | None = None,
+        span: _RequestSpan | None = None,
     ) -> None:
-        def after_transfer(start_us: float, end_us: float) -> None:
-            die.submit(priority, self.timing.program_us, on_done)
+        if span is None:
+            def after_transfer(start_us: float, end_us: float) -> None:
+                die.submit(priority, self.timing.program_us, on_done)
 
-        channel.submit(priority, self.timing.transfer_us, after_transfer)
+            channel.submit(priority, self.timing.transfer_us, after_transfer)
+            return
+
+        record = _PageStages(
+            op.block_index if op is not None else -1,
+            op.page if op is not None and op.page is not None else -1,
+            senses=0,
+            retries=0,
+            submit_us=self.engine.now,
+        )
+        record._stage_submit_us = record.submit_us
+
+        def program_done(start_us: float, end_us: float) -> None:
+            record.queue_wait_us += start_us - record._stage_submit_us
+            record.program_us = end_us - start_us
+            record.end_us = end_us
+            span.add_page(record)
+            on_done(start_us, end_us)
+
+        def after_transfer_traced(start_us: float, end_us: float) -> None:
+            record.queue_wait_us += start_us - record._stage_submit_us
+            record.transfer_us = end_us - start_us
+            record._stage_submit_us = end_us
+            die.submit(priority, self.timing.program_us, program_done)
+
+        channel.submit(priority, self.timing.transfer_us, after_transfer_traced)
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -438,6 +628,32 @@ class SsdSimulator:
             self.channels
         )
         return {"die": die, "channel": channel}
+
+    def queue_wait_report(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Queue-wait totals per resource class and dispatch priority.
+
+        Aggregates every die (and every channel) into one entry per
+        priority class: ops served, total wait, mean wait.  This is the
+        "queueing at chips/channels" attribution the paper's Sec. V-A
+        discusses — the indirect benefit of faster senses is visible
+        here as shrinking host-read wait, not in the sense time itself.
+        """
+
+        def aggregate(resources: list[Resource]) -> dict[str, dict[str, float]]:
+            merged: dict[str, dict[str, float]] = {}
+            for resource in resources:
+                for cls, stats in resource.queue_wait_stats().items():
+                    bucket = merged.setdefault(
+                        cls, {"ops": 0, "total_wait_us": 0.0, "mean_wait_us": 0.0}
+                    )
+                    bucket["ops"] += stats["ops"]
+                    bucket["total_wait_us"] += stats["total_wait_us"]
+            for bucket in merged.values():
+                if bucket["ops"]:
+                    bucket["mean_wait_us"] = bucket["total_wait_us"] / bucket["ops"]
+            return merged
+
+        return {"die": aggregate(self.dies), "channel": aggregate(self.channels)}
 
     def _fold_counters(self) -> None:
         counters = self.ftl.counters

@@ -34,3 +34,51 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table IV" in out
         assert "proj_3" in out
+
+
+class TestRunSubcommand:
+    def test_plain_run(self, capsys):
+        assert main(["run", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "ida-e20 on usr_1 @ tiny" in out
+        assert "reads" in out
+        assert "utilisation" in out
+
+    def test_run_with_all_observability_outputs(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        report = tmp_path / "run.json"
+        code = main([
+            "run", "--scale", "tiny", "--system", "baseline",
+            "--trace", str(trace),
+            "--interval-us", "10000",
+            "--report", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace :" in out
+        assert "series:" in out
+        assert "report:" in out
+        assert trace.exists()
+        assert report.exists()
+        import json
+
+        manifest = json.loads(report.read_text())
+        assert manifest["kind"] == "run_manifest"
+        assert manifest["config"]["system"]["name"] == "baseline"
+        assert "time_series" in manifest
+
+    def test_run_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scale", "tiny", "--system", "warp-drive"])
+
+
+class TestInspectSubcommand:
+    def test_inspect_traced_run(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "--scale", "tiny", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest reads" in out
+        assert "read_span" in out
+        assert "utilisation" in out

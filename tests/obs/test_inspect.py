@@ -1,0 +1,98 @@
+"""Tests for trace inspection (repro.obs.inspect)."""
+
+from __future__ import annotations
+
+from repro.obs.inspect import (
+    format_trace_summary,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.tracer import SCHEMA_VERSION, JsonlSink, Tracer
+
+
+def read_span(request_id: int, response_us: float, wait: float = 1.0) -> dict:
+    return {
+        "kind": "read_span",
+        "t_us": 100.0 + request_id,
+        "request_id": request_id,
+        "arrival_us": float(request_id),
+        "response_us": response_us,
+        "pages": 1,
+        "critical": {
+            "queue_wait_us": wait,
+            "sense_us": 50.0,
+            "transfer_us": 48.0,
+            "ecc_us": 20.0,
+        },
+    }
+
+
+SAMPLE = [
+    {"kind": "trace_header", "t_us": 0.0, "schema": SCHEMA_VERSION},
+    {"kind": "run_start", "t_us": 0.0, "mode": "open_loop", "requests": 3},
+    read_span(0, 120.0),
+    read_span(1, 480.0),
+    read_span(2, 240.0),
+    {"kind": "gc", "t_us": 50.0, "block": 1, "plane": 0, "moved_pages": 12},
+    {"kind": "refresh", "t_us": 60.0, "block": 2, "n_moved": 7},
+    {"kind": "ida_adjust", "t_us": 61.0, "block": 2, "wordline": 0},
+    {"kind": "run_end", "t_us": 500.0,
+     "utilisation": {"die": 0.42, "channel": 0.17}},
+]
+
+
+class TestSummarize:
+    def test_event_counts_and_schema(self):
+        summary = summarize_trace(SAMPLE)
+        assert summary.schema == SCHEMA_VERSION
+        assert summary.event_counts["read_span"] == 3
+        assert summary.event_counts["gc"] == 1
+
+    def test_slowest_reads_sorted_and_limited(self):
+        summary = summarize_trace(SAMPLE, top=2)
+        ids = [e["request_id"] for e in summary.slowest_reads]
+        assert ids == [1, 2]  # 480 then 240
+        assert summary.read_count == 3
+        assert summary.mean_read_response_us == (120 + 480 + 240) / 3
+
+    def test_background_totals(self):
+        summary = summarize_trace(SAMPLE)
+        assert summary.gc_passes == 1
+        assert summary.refresh_blocks == 1
+        assert summary.refresh_pages_moved == 7
+        assert summary.ida_adjusts == 1
+
+    def test_utilisation_from_run_end(self):
+        assert summarize_trace(SAMPLE).utilisation == {"die": 0.42,
+                                                       "channel": 0.17}
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.read_count == 0
+        assert summary.slowest_reads == []
+
+
+class TestFormat:
+    def test_report_mentions_key_sections(self):
+        report = format_trace_summary(SAMPLE, top=2)
+        assert "read_span" in report
+        assert "slowest reads" in report
+        assert "480.0" in report
+        assert "GC passes" in report
+        assert "utilisation" in report
+        assert "42.0%" in report
+
+    def test_report_without_reads(self):
+        report = format_trace_summary(
+            [{"kind": "trace_header", "t_us": 0.0, "schema": SCHEMA_VERSION}]
+        )
+        assert "no read spans" in report
+
+
+class TestLoadTrace:
+    def test_round_trip_through_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit(1.0, "gc", block=9)
+        events = load_trace(path)
+        assert [e["kind"] for e in events] == ["trace_header", "gc"]

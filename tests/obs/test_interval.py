@@ -1,0 +1,157 @@
+"""Tests for the interval time-series collector (repro.obs.interval)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.interval import IntervalCollector, IntervalSnapshot
+from repro.sim.engine import SimEngine
+
+
+class FakeResource:
+    """Just enough surface for the collector: busy_us + queued."""
+
+    def __init__(self):
+        self.busy_us = 0.0
+        self.queued = 0
+
+
+def bound_collector(interval_us: float = 100.0, n_dies: int = 2):
+    engine = SimEngine()
+    dies = [FakeResource() for _ in range(n_dies)]
+    channels = [FakeResource()]
+    collector = IntervalCollector(interval_us)
+    collector.bind(engine, dies, channels)
+    return engine, dies, channels, collector
+
+
+class TestIntervalSnapshot:
+    def test_throughput(self):
+        snap = IntervalSnapshot(start_us=0.0, end_us=1e6, bytes_read=8_000_000)
+        assert snap.read_throughput_mb_s() == pytest.approx(8.0)
+
+    def test_zero_duration_has_zero_throughput(self):
+        assert IntervalSnapshot(0.0, 0.0, bytes_read=1).read_throughput_mb_s() == 0.0
+
+    def test_to_dict_keys(self):
+        d = IntervalSnapshot(0.0, 10.0).to_dict()
+        for key in ("start_us", "end_us", "reads_completed", "read_latency",
+                    "die_utilisation", "die_queue_depth", "events_processed"):
+            assert key in d
+
+
+class TestIntervalCollector:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            IntervalCollector(0.0)
+
+    def test_start_requires_bind(self):
+        with pytest.raises(RuntimeError):
+            IntervalCollector(10.0).start()
+
+    def test_one_collector_per_run(self):
+        engine, _, _, collector = bound_collector()
+        engine.at(500.0, lambda: None)
+        collector.start()
+        with pytest.raises(RuntimeError):
+            collector.start()
+
+    def test_intervals_cover_run_and_close_trailing_partial(self):
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        engine.at(250.0, lambda: None)  # run lasts 250 us
+        collector.start()
+        engine.run()
+        collector.finish()
+        spans = [(s.start_us, s.end_us) for s in collector.snapshots]
+        assert spans == [(0.0, 100.0), (100.0, 200.0), (200.0, 250.0)]
+
+    def test_ticks_do_not_prevent_engine_drain(self):
+        engine, _, _, collector = bound_collector(interval_us=10.0)
+        engine.at(35.0, lambda: None)
+        collector.start()
+        engine.run()  # would never return if ticks rescheduled forever
+        assert engine.pending == 0
+
+    def test_finish_without_start_is_noop(self):
+        _, _, _, collector = bound_collector()
+        collector.finish()
+        assert collector.snapshots == []
+
+    def test_record_read_lands_in_current_interval(self):
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+
+        def complete_read():
+            collector.record_read(response_us=42.0, nbytes=4096)
+
+        engine.at(50.0, complete_read)
+        engine.at(150.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        first, second = collector.snapshots[0], collector.snapshots[1]
+        assert first.reads_completed == 1
+        assert first.bytes_read == 4096
+        assert first.read_latency["count"] == 1
+        assert second.reads_completed == 0
+        # Cumulative histogram sees it too.
+        assert collector.read_latency_total.count == 1
+
+    def test_record_write(self):
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        engine.at(10.0, lambda: collector.record_write(500.0, 8192))
+        collector.start()
+        engine.run()
+        collector.finish()
+        assert collector.snapshots[0].writes_completed == 1
+        assert collector.snapshots[0].bytes_written == 8192
+
+    def test_utilisation_is_interval_delta(self):
+        engine, dies, _, collector = bound_collector(interval_us=100.0, n_dies=2)
+
+        # One die busy for 50 us of the first interval only.
+        def occupy():
+            dies[0].busy_us += 50.0
+
+        engine.at(60.0, occupy)
+        engine.at(180.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        first, second = collector.snapshots[0], collector.snapshots[1]
+        # 50 us busy over 2 dies x 100 us interval = 25%.
+        assert first.die_utilisation == pytest.approx(0.25)
+        assert second.die_utilisation == 0.0
+
+    def test_queue_depth_is_instantaneous(self):
+        engine, dies, channels, collector = bound_collector(interval_us=100.0)
+        dies[0].queued = 3
+        channels[0].queued = 2
+        engine.at(150.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        assert collector.snapshots[0].die_queue_depth == 3
+        assert collector.snapshots[0].channel_queue_depth == 2
+
+    def test_time_series_and_summary(self):
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        engine.at(20.0, lambda: collector.record_read(42.0, 4096))
+        engine.at(150.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        series = collector.time_series()
+        assert len(series) == len(collector.snapshots)
+        assert series[0]["reads_completed"] == 1
+        summary = collector.summary()
+        assert summary["interval_us"] == 100.0
+        assert summary["intervals"] == len(series)
+        assert summary["read_latency"]["count"] == 1
+        assert summary["peak_read_throughput_mb_s"] > 0
+        assert summary["peak_queue_depth"] == 0
+
+    def test_empty_summary(self):
+        _, _, _, collector = bound_collector()
+        summary = collector.summary()
+        assert summary["intervals"] == 0
+        assert summary["peak_read_throughput_mb_s"] == 0.0

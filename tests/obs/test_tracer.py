@@ -1,0 +1,103 @@
+"""Tests for the event tracer and its sinks (repro.obs.tracer)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    SCHEMA_VERSION,
+    Tracer,
+    iter_jsonl_trace,
+    read_jsonl_trace,
+)
+
+
+class TestMemorySink:
+    def test_records_events_in_order(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.emit(1.0, "gc", block=3)
+        tracer.emit(2.0, "refresh", block=4)
+        kinds = [e["kind"] for e in sink.events]
+        assert kinds == ["trace_header", "gc", "refresh"]
+        assert tracer.events_emitted == 2  # header not counted
+
+    def test_header_carries_schema_version(self):
+        sink = MemorySink()
+        Tracer(sink)
+        header = sink.events[0]
+        assert header == {"kind": "trace_header", "t_us": 0.0,
+                          "schema": SCHEMA_VERSION}
+
+    def test_ring_buffer_keeps_most_recent(self):
+        sink = MemorySink(capacity=3)
+        tracer = Tracer(sink)
+        for i in range(10):
+            tracer.emit(float(i), "gc", n=i)
+        assert len(sink.events) == 3
+        assert [e["n"] for e in sink.events] == [7, 8, 9]
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+    def test_by_kind_filters(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.emit(1.0, "gc")
+        tracer.emit(2.0, "refresh")
+        tracer.emit(3.0, "gc")
+        assert [e["t_us"] for e in sink.by_kind("gc")] == [1.0, 3.0]
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit(5.0, "read_span", request_id=1, response_us=99.5)
+        events = read_jsonl_trace(path)
+        assert events[0]["kind"] == "trace_header"
+        assert events[0]["schema"] == SCHEMA_VERSION
+        assert events[1] == {"kind": "read_span", "t_us": 5.0,
+                             "request_id": 1, "response_us": 99.5}
+
+    def test_one_compact_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit(1.0, "gc", block=7)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert " " not in lines[1]  # compact separators
+        assert json.loads(lines[1])["block"] == 7
+
+    def test_iter_streams_and_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"a","t_us":0.0}\n\n{"kind":"b","t_us":1.0}\n')
+        assert [e["kind"] for e in iter_jsonl_trace(path)] == ["a", "b"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestNullTracer:
+    def test_is_disabled_and_silent(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.emit(1.0, "gc", block=1)
+        tracer.close()
+        assert tracer.events_emitted == 0
+
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer(MemorySink()).enabled is True

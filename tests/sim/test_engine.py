@@ -59,6 +59,59 @@ class TestScheduling:
             SimEngine().after(-1.0, lambda: None)
 
 
+class TestPastTolerance:
+    """Float round-off in `after()` chains must not abort a run."""
+
+    def test_round_off_hair_in_past_clamps_to_now(self):
+        engine = SimEngine()
+        engine.at(100.0, lambda: None)
+        engine.run()
+        fired = []
+        engine.at(100.0 - 1e-10, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [100.0]  # clamped, not rejected
+
+    def test_relative_tolerance_at_large_clock_values(self):
+        engine = SimEngine()
+        engine.at(1e9, lambda: None)
+        engine.run()
+        # A few ulps at now=1e9 is ~1e-7 — absolute tolerance alone
+        # would reject it.
+        engine.at(1e9 - 1e-7 * 0.5, lambda: None)
+        engine.run()
+        assert engine.now == 1e9
+
+    def test_genuinely_past_times_still_raise(self):
+        engine = SimEngine()
+        engine.at(100.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError, match="cannot schedule"):
+            engine.at(99.9, lambda: None)
+
+
+class TestRewind:
+    def test_rewind_restores_previous_event_time(self):
+        engine = SimEngine()
+        engine.at(10.0, lambda: None)
+        engine.at(25.0, lambda: engine.rewind_to_previous_event())
+        engine.run()
+        assert engine.now == 10.0
+
+    def test_rewind_with_pending_events_rejected(self):
+        engine = SimEngine()
+        seen = []
+
+        def observer():
+            with pytest.raises(RuntimeError):
+                engine.rewind_to_previous_event()
+            seen.append(True)
+
+        engine.at(5.0, observer)
+        engine.at(10.0, lambda: None)
+        engine.run()
+        assert seen == [True]
+
+
 class TestRunUntil:
     def test_until_leaves_later_events(self):
         engine = SimEngine()

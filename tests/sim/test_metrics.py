@@ -44,6 +44,45 @@ class TestLatencyStats:
         with pytest.raises(ValueError):
             stats.percentile(101)
 
+    def test_sorted_cache_invalidated_by_add(self):
+        stats = LatencyStats()
+        for v in (30.0, 10.0, 20.0):
+            stats.add(v)
+        assert stats.percentile(100) == 30.0  # populates the cache
+        stats.add(99.0)
+        assert stats.percentile(100) == 99.0  # cache must not go stale
+        assert stats.percentile(25) == 10.0
+
+    def test_repeated_percentiles_share_one_sort(self):
+        stats = LatencyStats()
+        for v in range(1000, 0, -1):
+            stats.add(float(v))
+        stats.percentile(50)
+        assert stats._sorted is not None
+        cached = stats._sorted
+        stats.percentile(95)
+        assert stats._sorted is cached  # no re-sort between queries
+
+    def test_summary_keys_and_values(self):
+        stats = LatencyStats()
+        for v in range(1, 101):
+            stats.add(float(v))
+        summary = stats.summary()
+        assert summary == {
+            "count": 100,
+            "mean_us": 50.5,
+            "p50_us": 50.0,
+            "p95_us": 95.0,
+            "p99_us": 99.0,
+            "max_us": 100.0,
+        }
+
+    def test_summary_empty(self):
+        summary = LatencyStats().summary()
+        assert summary["count"] == 0
+        assert summary["mean_us"] == 0.0
+        assert summary["max_us"] == 0.0
+
 
 class TestReadMix:
     def test_tlc_accounting(self):
@@ -71,11 +110,36 @@ class TestReadMix:
         mix.record(1, (True, True), False)
         assert mix.msb_with_invalid_lower == 1
 
+    def test_mlc_lsb_reads_never_count_as_invalid_lower(self):
+        mix = ReadMixCounters()
+        mix.record(0, (False, True), False)  # LSB read, LSB itself invalid
+        mix.record(0, (True, True), False)
+        assert mix.msb_with_invalid_lower == 0
+        assert mix.csb_with_invalid_lsb == 0  # MLC has no CSB
+        assert mix.fraction_of_type(0) == 1.0
+
+    def test_mlc_msb_invalid_fraction_uses_bit_one(self):
+        mix = ReadMixCounters()
+        mix.record(1, (False, True), True)
+        mix.record(1, (True, True), False)
+        mix.record(0, (True, True), False)
+        assert mix.msb_invalid_fraction(1) == pytest.approx(0.5)
+        assert mix.ida_fast_reads == 1
+
     def test_empty_fractions(self):
         mix = ReadMixCounters()
         assert mix.fraction_of_type(0) == 0.0
+        assert mix.fraction_of_type(7) == 0.0  # type never recorded
         assert mix.csb_invalid_fraction() == 0.0
         assert mix.msb_invalid_fraction(2) == 0.0
+        assert mix.msb_invalid_fraction(1) == 0.0
+        assert mix.total == 0
+
+    def test_fraction_of_unseen_type_with_traffic(self):
+        mix = ReadMixCounters()
+        mix.record(0, (True, True, True), False)
+        assert mix.fraction_of_type(2) == 0.0
+        assert mix.csb_invalid_fraction() == 0.0  # no CSB reads yet
 
 
 class TestSimMetrics:

@@ -91,3 +91,38 @@ class TestReadFirstScheduling:
         engine.run()
         assert resource.queued == 0
         assert not resource.is_busy
+
+
+class TestQueueWaitStats:
+    def test_shape_when_idle(self, resource):
+        stats = resource.queue_wait_stats()
+        assert set(stats) == {"host_read", "host_write", "internal"}
+        for entry in stats.values():
+            assert entry == {"ops": 0, "total_wait_us": 0.0,
+                             "mean_wait_us": 0.0}
+
+    def test_back_to_back_reads_accumulate_wait(self, engine, resource):
+        for _ in range(3):
+            resource.submit(IoPriority.HOST_READ, 50.0, lambda s, e: None)
+        engine.run()
+        reads = resource.queue_wait_stats()["host_read"]
+        # First starts at 0, second waits 50, third waits 100.
+        assert reads["ops"] == 3
+        assert reads["total_wait_us"] == 150.0
+        assert reads["mean_wait_us"] == 50.0
+
+    def test_wait_attributed_to_each_priority(self, engine, resource):
+        resource.submit(IoPriority.INTERNAL, 100.0, lambda s, e: None)
+        resource.submit(IoPriority.HOST_WRITE, 10.0, lambda s, e: None)
+        resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
+        engine.run()
+        stats = resource.queue_wait_stats()
+        assert stats["internal"]["total_wait_us"] == 0.0
+        assert stats["host_read"]["total_wait_us"] == 100.0   # behind internal
+        assert stats["host_write"]["total_wait_us"] == 110.0  # behind both
+
+    def test_only_served_ops_counted(self, engine, resource):
+        resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
+        resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
+        # Before the engine runs, only the first dispatched immediately.
+        assert resource.queue_wait_stats()["host_read"]["ops"] == 1

@@ -203,6 +203,55 @@ class TestUtilisationReport:
         assert report["die"] >= report["channel"] * 0.9
 
 
+class TestQueueWaitReport:
+    def test_shape(self):
+        report = _simulator().queue_wait_report()
+        assert set(report) == {"die", "channel"}
+        for stats in report.values():
+            assert set(stats) == {"host_read", "host_write", "internal"}
+            for entry in stats.values():
+                assert entry["ops"] == 0
+                assert entry["mean_wait_us"] == 0.0
+
+    def test_contended_reads_show_die_wait(self):
+        sim = _simulator()
+        sim.preload(range(4), -100.0, 0.0)
+        # lpns 0 and 2 share a die: the second sense queues behind the first.
+        sim.run_requests([_read(0, 0.0, [0, 2])])
+        reads = sim.queue_wait_report()["die"]["host_read"]
+        assert reads["ops"] == 2
+        assert reads["total_wait_us"] == pytest.approx(50.0)  # one LSB sense
+
+
+class TestTracedRuns:
+    def test_traced_run_leaves_complete_spans(self):
+        from repro.obs import MemorySink, Tracer
+
+        sink = MemorySink()
+        sim = SsdSimulator(
+            geometry=_geometry(),
+            timing=TimingSpec.tlc_table2(),
+            coding=conventional_tlc(),
+            refresh_policy=RefreshPolicy(mode=RefreshMode.BASELINE, period_us=1e9),
+            seed=5,
+            tracer=Tracer(sink),
+        )
+        sim.preload(range(4), -100.0, 0.0)
+        sim.run_requests([_read(0, 0.0, [0]), _write(1, 1000.0, [1])])
+        spans = sink.by_kind("read_span")
+        assert len(spans) == 1
+        critical = spans[0]["critical"]
+        # Idle LSB read: no wait, 50 sense, 48 transfer, 20 ECC, 5 host.
+        assert critical["queue_wait_us"] == pytest.approx(0.0)
+        assert critical["sense_us"] == pytest.approx(50.0)
+        assert critical["transfer_us"] == pytest.approx(48.0)
+        assert critical["ecc_us"] == pytest.approx(20.0)
+        assert spans[0]["response_us"] == pytest.approx(123.0)
+        writes = sink.by_kind("write_span")
+        assert len(writes) == 1
+        assert writes[0]["critical"]["program_us"] == pytest.approx(2300.0)
+
+
 class TestScheduler:
     def test_host_request_validation(self):
         with pytest.raises(ValueError):
