@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Microbenchmark: simulated-ops throughput of the staged op pipeline.
+
+The op-pipeline refactor (closure webs -> :class:`OpPipeline` stage
+machine) must not slow simulation down: the acceptance gate is "no worse
+than 5% below the pre-refactor baseline".  Because absolute wall time is
+machine-dependent, the comparison runs in two steps:
+
+* on the *pre-refactor* tree:   ``bench_pipeline.py --record base.json``
+* on the *post-refactor* tree:  ``bench_pipeline.py --check --baseline base.json``
+
+which fails (exit 1) when the new median wall time exceeds the recorded
+one by more than ``--threshold`` percent.  Without ``--baseline`` the
+script just reports wall seconds and simulated physical ops per second
+(``SimMetrics.phys_ops_dispatched`` over median wall time) for the
+read-first and fcfs policies.
+
+Run:  python benchmarks/bench_pipeline.py [--scale quick] [--reps 5]
+                                          [--record PATH]
+                                          [--check --baseline PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import RunScale, ida, run_workload
+from repro.workloads import workload
+
+
+def time_runs(scale: RunScale, policy: str, reps: int) -> tuple[list[float], int]:
+    """Median-able wall times plus the per-run dispatched-op count."""
+    spec = workload("usr_1")
+    system = ida(0.2).with_policy(policy)
+    times: list[float] = []
+    ops = 0
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = run_workload(system, spec, scale, seed=11)
+        times.append(time.perf_counter() - started)
+        ops = result.metrics.phys_ops_dispatched
+    return times, ops
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=["tiny", "quick", "bench"], default="quick")
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--record", metavar="PATH", default=None,
+                        help="write the measured medians to PATH (JSON)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline JSON from --record on the reference tree")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if slower than the baseline beyond the threshold")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="max tolerated slowdown in percent (default: 5)")
+    args = parser.parse_args(argv)
+    if args.check and not args.baseline:
+        parser.error("--check requires --baseline")
+
+    scale = getattr(RunScale, args.scale)()
+    time_runs(scale, "read-first", 1)  # warm-up
+
+    report: dict = {"scale": args.scale, "reps": args.reps, "policies": {}}
+    print(f"scale={args.scale} reps={args.reps} (median wall seconds)")
+    for policy in ("read-first", "fcfs"):
+        times, ops = time_runs(scale, policy, args.reps)
+        median = statistics.median(times)
+        ops_per_s = ops / median if median > 0 else 0.0
+        report["policies"][policy] = {
+            "median_s": median,
+            "phys_ops": ops,
+            "ops_per_s": ops_per_s,
+        }
+        print(f"  {policy:<11}: {median:.3f} s  "
+              f"({ops} phys ops, {ops_per_s:,.0f} ops/s)")
+
+    if args.record:
+        path = Path(args.record)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"recorded -> {path}")
+
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        failed = False
+        for policy, current in report["policies"].items():
+            reference = base.get("policies", {}).get(policy)
+            if reference is None:
+                print(f"  {policy}: no baseline entry, skipped")
+                continue
+            delta = (current["median_s"] / reference["median_s"] - 1.0) * 100.0
+            verdict = "OK" if delta <= args.threshold else "FAIL"
+            print(f"  {policy:<11}: {delta:+.1f}% vs baseline "
+                  f"({reference['median_s']:.3f} s)  [{verdict}]")
+            failed = failed or delta > args.threshold
+        if args.check and failed:
+            print(f"FAIL: slowdown exceeds {args.threshold:.1f}%")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

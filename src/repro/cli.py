@@ -6,7 +6,7 @@ Usage::
     ida-repro fig8  [--scale quick|bench|full] [--workloads usr_1,proj_1]
     ida-repro table4 --scale bench
     ida-repro all --scale quick
-    ida-repro run --scale tiny --trace /tmp/t.jsonl --report /tmp/run.json
+    ida-repro run --scale tiny --policy fcfs --trace /tmp/t.jsonl --report /tmp/run.json
     ida-repro inspect /tmp/t.jsonl --top 5
 
 (The ``repro`` console script is an alias of ``ida-repro``.)
@@ -141,6 +141,9 @@ def _build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--system", default="ida-e20",
                         help="baseline, ida, or ida-eNN (default: ida-e20)")
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--policy", default="read-first",
+                        help="scheduling policy: read-first (paper default), "
+                             "fcfs, or throttled")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a JSONL event trace to PATH")
     parser.add_argument("--interval-us", type=float, default=None, metavar="N",
@@ -157,6 +160,10 @@ def _cmd_run(argv: list[str]) -> int:
 
     args = _build_run_parser().parse_args(argv)
     system = _parse_system(args.system)
+    try:
+        system = system.with_policy(args.policy)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     try:
         spec = workload(args.workload)
     except KeyError as exc:
@@ -179,7 +186,7 @@ def _cmd_run(argv: list[str]) -> int:
 
     read = result.metrics.read_response.summary()
     print(f"{system.name} on {args.workload} @ {args.scale} "
-          f"({elapsed:.1f}s wall, seed {args.seed})")
+          f"({elapsed:.1f}s wall, seed {args.seed}, policy {system.policy})")
     print(f"  reads : {read['count']}  mean {read['mean_us']:.1f} us  "
           f"p95 {read['p95_us']:.1f} us  p99 {read['p99_us']:.1f} us")
     print(f"  writes: {result.metrics.write_response.count}  "

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..sim.scheduler import HostRequest
 from ..workloads.msr import TABLE3_WORKLOADS
 from ..workloads.synthetic import generate_workload, sample_update_lpns
 from .config import RunScale

@@ -11,7 +11,7 @@ is per-block / per-queue, so the scaling leaves the comparisons intact
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..core.coding import GrayCoding
 from ..core.mlc import conventional_mlc

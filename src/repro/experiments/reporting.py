@@ -122,6 +122,7 @@ def metrics_summary(metrics: SimMetrics) -> dict:
             "refresh_extra_reads": metrics.refresh_extra_reads,
             "read_retries": metrics.read_retries,
             "unmapped_reads": metrics.unmapped_reads,
+            "phys_ops_dispatched": metrics.phys_ops_dispatched,
         },
     }
 

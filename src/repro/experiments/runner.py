@@ -111,6 +111,7 @@ def build_simulator(
         retry_model=system.retry_model(),
         seed=seed,
         allocation=system.allocation,
+        policy=system.policy,
         tracer=tracer,
         collector=collector,
     )

@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 
 from ..flash.errors import ReadRetryModel
 from ..ftl.refresh import RefreshMode
+from ..sim.policy import make_policy
 
 __all__ = ["SystemSpec", "baseline", "ida", "error_rate_sweep"]
 
@@ -31,6 +32,9 @@ class SystemSpec:
         allocation: Static allocation strategy.
         adjust_program_fraction: Voltage-adjustment cost as a fraction of
             a program (1.0 = the paper's conservative charge).
+        policy: Scheduling policy name from the
+            :data:`repro.sim.policy.POLICIES` registry ("read-first" =
+            the paper's Table II default, "fcfs", "throttled").
     """
 
     name: str
@@ -41,6 +45,7 @@ class SystemSpec:
     retry_fail_prob: float = 0.0
     allocation: str = "cwdp"
     adjust_program_fraction: float = 1.0
+    policy: str = "read-first"
 
     def retry_model(self) -> ReadRetryModel:
         return ReadRetryModel(fail_prob=self.retry_fail_prob)
@@ -53,6 +58,15 @@ class SystemSpec:
 
     def with_dtr(self, dtr_us: float) -> "SystemSpec":
         return replace(self, dtr_us=dtr_us)
+
+    def with_policy(self, policy: str) -> "SystemSpec":
+        """Same system under a different scheduling policy.
+
+        Validates eagerly so a typo fails at configuration time, not
+        half-way into a run.
+        """
+        make_policy(policy)
+        return replace(self, policy=policy)
 
 
 def baseline(device: str = "tlc") -> SystemSpec:

@@ -2,10 +2,10 @@
 
 from .allocation import StaticAllocator, cwdp_order, pdwc_order
 from .blockstatus import BlockStatusTable
-from .ftl import Ftl, FtlCounters, WriteResult
+from .ftl import Ftl
 from .gc import GcPolicy, select_victim
 from .mapping import PageMap
-from .ops import OpKind, PhysOp
+from .ops import FlashTranslation, FtlCounters, OpKind, PhysOp, WriteResult
 from .refresh import (
     RefreshMode,
     RefreshPlan,
@@ -21,6 +21,7 @@ __all__ = [
     "cwdp_order",
     "pdwc_order",
     "BlockStatusTable",
+    "FlashTranslation",
     "Ftl",
     "FtlCounters",
     "WriteResult",

@@ -17,8 +17,6 @@ accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..core.coding import GrayCoding
@@ -31,40 +29,12 @@ from .allocation import StaticAllocator
 from .blockstatus import BlockStatusTable
 from .gc import GcPolicy, select_victim
 from .mapping import PageMap
-from .ops import OpKind, PhysOp
-from .refresh import RefreshMode, RefreshPolicy, RefreshReport, plan_refresh
+from .ops import FtlCounters, OpKind, PhysOp, WriteResult
+from .refresh import RefreshPolicy, RefreshReport, plan_refresh
 
+# WriteResult and FtlCounters live in .ops (the FTL <-> sim contract)
+# but remain importable from here for compatibility.
 __all__ = ["Ftl", "WriteResult", "FtlCounters"]
-
-
-@dataclass
-class WriteResult:
-    """Physical work implied by one host page write.
-
-    Attributes:
-        host_ops: The page program itself.
-        internal_ops: Any GC work the allocation triggered.
-    """
-
-    host_ops: list[PhysOp] = field(default_factory=list)
-    internal_ops: list[PhysOp] = field(default_factory=list)
-
-
-@dataclass
-class FtlCounters:
-    """FTL-internal event counters, merged into the run metrics."""
-
-    gc_invocations: int = 0
-    gc_page_moves: int = 0
-    block_erases: int = 0
-    refresh_invocations: int = 0
-    refresh_page_moves: int = 0
-    refresh_adjusted_wordlines: int = 0
-    refresh_reprogrammed_pages: int = 0
-    refresh_corrupted_pages: int = 0
-    host_writes: int = 0
-    host_reads: int = 0
-    unmapped_reads: int = 0
 
 
 class Ftl:
@@ -103,6 +73,11 @@ class Ftl:
         self.counters = FtlCounters()
         self.refresh_reports: list[RefreshReport] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    @property
+    def scan_interval_us(self) -> float:
+        """Refresh-scan cadence (the :class:`FlashTranslation` contract)."""
+        return self.refresh_policy.scan_interval_us
 
     # ------------------------------------------------------------------
     # Host path

@@ -1,18 +1,33 @@
-"""Physical operation descriptors the FTL emits for the simulator to time.
+"""The FTL <-> simulator contract: op descriptors and the FTL protocol.
 
-The FTL applies *logical* state transitions (mapping updates, validity
-flips, wordline-mode changes) immediately, and hands the simulator a list
-of :class:`PhysOp` records describing the physical work those transitions
-imply.  The simulator routes each op through the contended die / channel
-resources, which is where all queueing behaviour comes from.
+This module is the *entire* surface the simulator sees of the flash
+translation layer.  The FTL applies *logical* state transitions (mapping
+updates, validity flips, wordline-mode changes) immediately, and hands
+the simulator lists of :class:`PhysOp` records describing the physical
+work those transitions imply.  The simulator routes each op through the
+contended die / channel resources, which is where all queueing behaviour
+comes from.
+
+Keeping the contract this narrow is what lets scheduling policies and
+pipeline staging evolve independently of FTL internals: any object
+satisfying :class:`FlashTranslation` (the baseline page-mapping FTL, a
+future stress-aware reclaim variant, a test stub) plugs into
+:class:`~repro.sim.ssd.SsdSimulator` unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
+from typing import Protocol, runtime_checkable
 
-__all__ = ["OpKind", "PhysOp"]
+__all__ = [
+    "OpKind",
+    "PhysOp",
+    "WriteResult",
+    "FtlCounters",
+    "FlashTranslation",
+]
 
 
 class OpKind(Enum):
@@ -47,3 +62,70 @@ class PhysOp:
     bit: int | None = None
     wl_validity: tuple[bool, ...] | None = None
     from_ida: bool = False
+
+
+@dataclass
+class WriteResult:
+    """Physical work implied by one host page write.
+
+    Attributes:
+        host_ops: The page program itself.
+        internal_ops: Any GC work the allocation triggered.
+    """
+
+    host_ops: list[PhysOp] = field(default_factory=list)
+    internal_ops: list[PhysOp] = field(default_factory=list)
+
+
+@dataclass
+class FtlCounters:
+    """FTL-internal event counters, merged into the run metrics."""
+
+    gc_invocations: int = 0
+    gc_page_moves: int = 0
+    block_erases: int = 0
+    refresh_invocations: int = 0
+    refresh_page_moves: int = 0
+    refresh_adjusted_wordlines: int = 0
+    refresh_reprogrammed_pages: int = 0
+    refresh_corrupted_pages: int = 0
+    host_writes: int = 0
+    host_reads: int = 0
+    unmapped_reads: int = 0
+
+
+@runtime_checkable
+class FlashTranslation(Protocol):
+    """What the simulator requires of a flash translation layer.
+
+    Everything is expressed in terms of :class:`PhysOp` sequences — the
+    FTL never touches simulator resources, queues, or the event engine,
+    and the simulator never reaches past these five members into FTL
+    internals.  Host writes may trigger GC; the implied relocation work
+    comes back in :attr:`WriteResult.internal_ops` rather than being
+    self-scheduled.
+    """
+
+    #: Event counters the simulator folds into the run metrics.
+    counters: FtlCounters
+
+    @property
+    def scan_interval_us(self) -> float:
+        """Cadence at which the simulator should call :meth:`check_refresh`."""
+        ...
+
+    def host_read(self, lpn: int, now_us: float) -> PhysOp:
+        """Resolve one host page read to a physical read op."""
+        ...
+
+    def host_write(self, lpn: int, now_us: float) -> WriteResult:
+        """Apply one host page write; returns the implied physical work."""
+        ...
+
+    def write_untimed(self, lpn: int, pseudo_now_us: float) -> None:
+        """Preconditioning write: full logical effect, no timed ops."""
+        ...
+
+    def check_refresh(self, now_us: float) -> list[PhysOp]:
+        """Scan for refresh-due blocks; returns the implied physical work."""
+        ...

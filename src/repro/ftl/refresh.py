@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..core.cases import WordlineDecision, classify_validity
-from ..flash.block import Block, PageState
+from ..flash.block import Block
 
 __all__ = [
     "RefreshMode",

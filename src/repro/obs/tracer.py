@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterator
 
 __all__ = [
     "SCHEMA_VERSION",

@@ -1,7 +1,27 @@
-"""SSD simulator substrate: event engine, resources, metrics, the SSD."""
+"""SSD simulator substrate: engine, resources, pipeline, policy, the SSD."""
 
+from .drivers import run_closed_loop, run_open_loop
 from .engine import SimEngine
 from .metrics import LatencyStats, ReadMixCounters, SimMetrics
+from .pipeline import (
+    OpPipeline,
+    PageRecord,
+    RequestSpan,
+    Stage,
+    StagePlanner,
+    adjust_stages,
+    erase_stages,
+    read_stages,
+    write_stages,
+)
+from .policy import (
+    POLICIES,
+    FcfsPolicy,
+    ReadFirstPolicy,
+    SchedulingPolicy,
+    ThrottledInternalPolicy,
+    make_policy,
+)
 from .resources import IoPriority, Resource
 from .scheduler import HostRequest, OutstandingRequest
 from .ssd import SsdSimulator
@@ -11,6 +31,23 @@ __all__ = [
     "LatencyStats",
     "ReadMixCounters",
     "SimMetrics",
+    "run_open_loop",
+    "run_closed_loop",
+    "OpPipeline",
+    "PageRecord",
+    "RequestSpan",
+    "Stage",
+    "StagePlanner",
+    "read_stages",
+    "write_stages",
+    "adjust_stages",
+    "erase_stages",
+    "POLICIES",
+    "SchedulingPolicy",
+    "ReadFirstPolicy",
+    "FcfsPolicy",
+    "ThrottledInternalPolicy",
+    "make_policy",
     "IoPriority",
     "Resource",
     "HostRequest",

@@ -1,11 +1,13 @@
-"""Contended hardware resources with priority scheduling.
+"""Contended hardware resources with class-based queueing.
 
-Dies and channels serve one operation at a time.  The paper's FTL uses
-*read-first scheduling* (Table II): pending host reads are dispatched ahead
-of host writes, which in turn go ahead of internal (GC / refresh) traffic.
-Scheduling is non-preemptive — an in-flight 2.3 ms program cannot be
-suspended — which is exactly why slow MSB senses and programs inflate read
-wait times, the queueing effect behind the paper's "indirect" improvement
+Dies and channels serve one operation at a time, picking the oldest
+operation of the highest non-empty queue class when they free up.  Which
+queue an op waits in is the scheduling policy's decision
+(:mod:`repro.sim.policy`): the paper's read-first default keeps one
+queue per dispatch class, FCFS collapses them all into one.  Scheduling
+is non-preemptive — an in-flight 2.3 ms program cannot be suspended —
+which is exactly why slow MSB senses and programs inflate read wait
+times, the queueing effect behind the paper's "indirect" improvement
 (Sec. V-A).
 """
 
@@ -18,7 +20,12 @@ from typing import Callable
 
 from .engine import SimEngine
 
-__all__ = ["IoPriority", "Resource"]
+__all__ = [
+    "IoPriority",
+    "Resource",
+    "mean_utilisation",
+    "aggregate_queue_waits",
+]
 
 
 class IoPriority(IntEnum):
@@ -29,11 +36,12 @@ class IoPriority(IntEnum):
     INTERNAL = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingOp:
     duration: float
     on_done: Callable[[float, float], None]
     enqueued_us: float
+    klass: IoPriority
 
 
 class Resource:
@@ -77,14 +85,19 @@ class Resource:
         priority: IoPriority,
         duration: float,
         on_done: Callable[[float, float], None],
+        queue: IoPriority | None = None,
     ) -> None:
         """Enqueue an operation.
 
         Args:
-            priority: Dispatch class.
+            priority: Dispatch class (drives queue-wait accounting).
             duration: Service time in microseconds.
             on_done: Called as ``on_done(start_us, end_us)`` when the
                 operation completes.
+            queue: Queue class to wait in; defaults to ``priority``.  A
+                scheduling policy may map several dispatch classes onto
+                one queue (e.g. FCFS collapses all three) — accounting
+                stays per dispatch class either way.
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
@@ -92,18 +105,18 @@ class Resource:
         # resource is momentarily idle (e.g. from a completion callback
         # that chains background work) must not jump ahead of
         # higher-priority operations already waiting.
-        self._queues[priority].append(
-            _PendingOp(duration, on_done, self.engine.now)
+        self._queues[queue if queue is not None else priority].append(
+            _PendingOp(duration, on_done, self.engine.now, priority)
         )
         self._dispatch_next()
 
-    def _start(self, op: _PendingOp, priority: int) -> None:
+    def _start(self, op: _PendingOp) -> None:
         self._busy = True
         start = self.engine.now
         end = start + op.duration
         self.busy_us += op.duration
-        self._ops_served[priority] += 1
-        self._wait_us[priority] += start - op.enqueued_us
+        self._ops_served[op.klass] += 1
+        self._wait_us[op.klass] += start - op.enqueued_us
 
         def finish() -> None:
             self._busy = False
@@ -115,9 +128,9 @@ class Resource:
     def _dispatch_next(self) -> None:
         if self._busy:
             return
-        for priority, queue in enumerate(self._queues):
+        for queue in self._queues:
             if queue:
-                self._start(queue.popleft(), priority)
+                self._start(queue.popleft())
                 return
 
     def utilisation(self, elapsed_us: float) -> float:
@@ -138,3 +151,31 @@ class Resource:
                 "mean_wait_us": wait / ops if ops else 0.0,
             }
         return stats
+
+
+def mean_utilisation(resources: list[Resource], elapsed_us: float) -> float:
+    """Mean service fraction across a resource class (dies or channels)."""
+    if not resources:
+        return 0.0
+    return sum(r.utilisation(elapsed_us) for r in resources) / len(resources)
+
+
+def aggregate_queue_waits(resources: list[Resource]) -> dict[str, dict[str, float]]:
+    """Merge per-resource queue-wait stats into one entry per class.
+
+    This is the "queueing at chips/channels" attribution the paper's
+    Sec. V-A discusses — the indirect benefit of faster senses is visible
+    here as shrinking host-read wait, not in the sense time itself.
+    """
+    merged: dict[str, dict[str, float]] = {}
+    for resource in resources:
+        for cls, stats in resource.queue_wait_stats().items():
+            bucket = merged.setdefault(
+                cls, {"ops": 0, "total_wait_us": 0.0, "mean_wait_us": 0.0}
+            )
+            bucket["ops"] += stats["ops"]
+            bucket["total_wait_us"] += stats["total_wait_us"]
+    for bucket in merged.values():
+        if bucket["ops"]:
+            bucket["mean_wait_us"] = bucket["total_wait_us"] / bucket["ops"]
+    return merged

@@ -1,32 +1,32 @@
-"""The full SSD simulator: resources, op pipelines, refresh daemon.
+"""SSD simulator orchestration: requests in, staged op pipelines out.
 
-Data-path model (Fig. 1 / Sec. II-C):
+The simulator is a thin conductor over the layered architecture (see
+``docs/architecture.md``):
 
-* **read**: die busy for the memory-access time (sense-count dependent,
-  multiplied by any read-retry passes), then the channel busy for the
-  page transfer, then a fixed ECC-decode latency (the paper's hardware
-  LDPC engines are deeply pipelined, so decode adds latency but no
-  queueing), then the fixed host-interface overhead.
-* **write**: channel busy for the inbound transfer, then die busy for the
-  full ISPP program.
-* **adjust** (IDA voltage adjustment): die busy for one conservative
-  program time per wordline.
-* **erase**: die busy for the erase time.
+* **workload drivers** — :mod:`repro.sim.drivers` feed timed request
+  streams (open- or closed-loop) and tick the refresh daemon;
+* **scheduling policy** — :mod:`repro.sim.policy` decides which resource
+  queue each dispatch class waits in and how internal traffic is paced
+  (read-first by default, Table II);
+* **op pipeline** — :mod:`repro.sim.pipeline` walks each physical op
+  through its declarative stages (sense/transfer/ECC for reads,
+  transfer/program for writes, adjust/erase for internal ops);
+* **resources** — contended dies and channels, where all queueing
+  behaviour comes from;
+* **FTL** — reached only through the :class:`FlashTranslation` protocol
+  (:mod:`repro.ftl.ops`): logical state transitions are applied eagerly
+  at dispatch and come back as :class:`PhysOp` sequences.
 
-Scheduling is read-first (Table II): host reads pre-empt *queued* host
-writes and internal traffic at every resource, but in-service operations
-are never suspended.
-
-Approximation note (shared with DiskSim-class simulators): FTL metadata
-transitions are applied eagerly at dispatch, so a page relocated by
-refresh is readable at its new location while the physical moves are
+Approximation note (shared with DiskSim-class simulators): because FTL
+metadata transitions are applied eagerly at dispatch, a page relocated
+by refresh is readable at its new location while the physical moves are
 still queued; the *load* of those moves is fully accounted on the
 resources either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -37,13 +37,21 @@ from ..flash.geometry import Geometry
 from ..flash.timing import TimingSpec
 from ..ftl.ftl import Ftl
 from ..ftl.gc import GcPolicy
-from ..ftl.ops import OpKind, PhysOp
+from ..ftl.ops import FlashTranslation, OpKind, PhysOp
 from ..ftl.refresh import RefreshPolicy
 from ..obs.interval import IntervalCollector
 from ..obs.tracer import NULL_TRACER, Tracer
+from .drivers import run_closed_loop, run_open_loop
 from .engine import SimEngine
 from .metrics import SimMetrics
-from .resources import IoPriority, Resource
+from .pipeline import OpPipeline, PageRecord, RequestSpan, StagePlanner
+from .policy import SchedulingPolicy, make_policy
+from .resources import (
+    IoPriority,
+    Resource,
+    aggregate_queue_waits,
+    mean_utilisation,
+)
 from .scheduler import HostRequest, OutstandingRequest
 
 __all__ = ["SsdSimulator"]
@@ -59,83 +67,6 @@ class _NullCompletion:
         self.count += 1
 
 
-@dataclass
-class _PageStages:
-    """Stage timings of one traced page op as it moves through the pipe."""
-
-    block: int
-    page: int
-    senses: int
-    retries: int
-    submit_us: float
-    queue_wait_us: float = 0.0  # die wait + channel wait, accumulated
-    sense_us: float = 0.0
-    transfer_us: float = 0.0
-    ecc_us: float = 0.0
-    program_us: float = 0.0
-    end_us: float = 0.0
-    _stage_submit_us: float = 0.0
-
-    def to_dict(self) -> dict:
-        return {
-            "block": self.block,
-            "page": self.page,
-            "senses": self.senses,
-            "retries": self.retries,
-            "queue_wait_us": self.queue_wait_us,
-            "sense_us": self.sense_us,
-            "transfer_us": self.transfer_us,
-            "ecc_us": self.ecc_us,
-            "program_us": self.program_us,
-            "end_us": self.end_us,
-        }
-
-
-class _RequestSpan:
-    """Collects per-page stage records for one traced host request.
-
-    Page records are appended as their pipelines complete, so when the
-    request's last page op finishes (triggering completion) the final
-    record is the critical-path page: its stages, by construction, tile
-    the whole ``arrival -> completion`` window.
-    """
-
-    __slots__ = ("request", "pages")
-
-    def __init__(self, request: HostRequest) -> None:
-        self.request = request
-        self.pages: list[_PageStages] = []
-
-    def add_page(self, record: _PageStages) -> None:
-        self.pages.append(record)
-
-    def emit(
-        self,
-        tracer: Tracer,
-        kind: str,
-        complete_us: float,
-        host_overhead_us: float,
-    ) -> None:
-        critical = self.pages[-1] if self.pages else None
-        payload: dict = {
-            "request_id": self.request.request_id,
-            "arrival_us": self.request.arrival_us,
-            "response_us": complete_us - self.request.arrival_us + host_overhead_us,
-            "pages": len(self.pages),
-        }
-        if critical is not None:
-            payload["critical"] = {
-                "queue_wait_us": critical.queue_wait_us,
-                "sense_us": critical.sense_us,
-                "transfer_us": critical.transfer_us,
-                "ecc_us": critical.ecc_us,
-                "program_us": critical.program_us,
-                "host_overhead_us": host_overhead_us,
-            }
-        payload["stages"] = [page.to_dict() for page in self.pages]
-        tracer.emit(complete_us, kind, **payload)
-
-
 class SsdSimulator:
     """Event-driven SSD with an (optionally IDA-enabled) FTL.
 
@@ -149,6 +80,9 @@ class SsdSimulator:
             ``None`` or ``fail_prob = 0`` disables retries.
         seed: RNG seed for disturb and retry sampling.
         allocation: Static allocation strategy name.
+        policy: Scheduling policy instance or registry name
+            (``"read-first"`` / ``"fcfs"`` / ``"throttled"``); ``None``
+            selects the paper's read-first default.
         tracer: Structured event tracer; ``None`` = tracing disabled
             (the null fast path).  Tracing is passive: it never schedules
             events, touches RNG streams, or alters metrics.
@@ -166,6 +100,7 @@ class SsdSimulator:
         retry_model: ReadRetryModel | None = None,
         seed: int = 1,
         allocation: str = "cwdp",
+        policy: SchedulingPolicy | str | None = None,
         tracer: Tracer | None = None,
         collector: IntervalCollector | None = None,
     ) -> None:
@@ -173,17 +108,17 @@ class SsdSimulator:
         self.timing = timing
         self.engine = SimEngine()
         self.metrics = SimMetrics()
+        self.policy = make_policy(policy)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.collector = collector
         self.retry_model = retry_model or ReadRetryModel(fail_prob=0.0)
-        # Common random numbers: host reads draw retry counts from their
-        # own stream, so paired baseline/IDA runs of the same trace see
-        # identical retry sequences (the i-th host page read retries the
-        # same number of times in both systems); internal reads use a
-        # separate stream so their differing op counts cannot skew it.
+        # Common random numbers: host reads draw retry counts from a
+        # dedicated stream, so paired baseline/IDA runs of the same trace
+        # see identical retry sequences (the i-th host page read retries
+        # the same number of times in both systems); internal reads never
+        # sample retries, so their differing op counts cannot skew it.
         self._host_retry_rng = np.random.default_rng(seed + 101)
-        self._internal_retry_rng = np.random.default_rng(seed + 202)
-        self.ftl = Ftl(
+        self.ftl: FlashTranslation = Ftl(
             geometry,
             coding,
             refresh_policy,
@@ -198,19 +133,30 @@ class SsdSimulator:
         self.channels = [
             Resource(self.engine, f"chan{c}") for c in range(geometry.channels)
         ]
+        self.ops_dispatched = 0
         self._internal_sink = _NullCompletion()
+        self._planner = StagePlanner(timing)
+        # The policy's class -> queue mapping is static; resolve it once
+        # instead of per dispatched op.
+        self._queue_of = tuple(self.policy.queue_class(k) for k in IoPriority)
+        # Routing is static: block -> plane -> (die, channel).  One table
+        # lookup per op replaces three geometry computations on the hot
+        # path.
+        self._plane_routes = [
+            (
+                geometry.die_of_plane(plane),
+                self.dies[geometry.die_of_plane(plane)],
+                self.channels[geometry.channel_of_plane(plane)],
+            )
+            for plane in range(geometry.total_planes)
+        ]
         if self.collector is not None:
             self.collector.bind(self.engine, self.dies, self.channels)
 
     # ------------------------------------------------------------------
     # Preconditioning
     # ------------------------------------------------------------------
-    def preload(
-        self,
-        lpns: Iterable[int],
-        start_us: float,
-        end_us: float,
-    ) -> None:
+    def preload(self, lpns: Iterable[int], start_us: float, end_us: float) -> None:
         """Untimed fill of the given LPNs, program times spread linearly.
 
         Spreading program times over ``[start_us, end_us)`` (typically one
@@ -220,8 +166,7 @@ class SsdSimulator:
         lpn_list = list(lpns)
         if not lpn_list:
             return
-        span = end_us - start_us
-        step = span / len(lpn_list)
+        step = (end_us - start_us) / len(lpn_list)
         for index, lpn in enumerate(lpn_list):
             self.ftl.write_untimed(lpn, start_us + index * step)
 
@@ -231,43 +176,15 @@ class SsdSimulator:
             self.ftl.write_untimed(lpn, pseudo_now_us)
 
     # ------------------------------------------------------------------
-    # Trace execution
+    # Trace execution (delegates to the workload drivers)
     # ------------------------------------------------------------------
     def run_requests(
         self,
         requests: list[HostRequest],
         background_updates: list[tuple[float, list[int]]] | None = None,
     ) -> SimMetrics:
-        """Run a full host request stream to completion and drain.
-
-        Args:
-            requests: The timed host requests.
-            background_updates: Optional ``(time_us, lpns)`` batches of
-                *untimed* update writes applied at the given simulation
-                times.  This is the trace-sampling device the experiment
-                runner uses: only a subset of a long trace's requests is
-                replayed with timing, but the full update rate is applied
-                logically so page-invalidation state evolves as in the
-                original trace (see DESIGN.md).
-
-        Returns the populated metrics object (also at ``self.metrics``).
-        """
-        if not requests:
-            raise ValueError("empty request stream")
-        ordered = sorted(requests, key=lambda r: r.arrival_us)
-        for request in ordered:
-            self.engine.at(request.arrival_us, self._make_dispatch(request))
-        for time_us, lpns in background_updates or []:
-            self.engine.at(time_us, self._make_background_batch(list(lpns)))
-        trace_end = ordered[-1].arrival_us
-        self._schedule_refresh_daemon(trace_end)
-        self._begin_run("open_loop", len(ordered))
-        self.engine.run()
-        self.metrics.start_us = ordered[0].arrival_us
-        self.metrics.end_us = self.engine.now
-        self._fold_counters()
-        self._end_run()
-        return self.metrics
+        """Replay a timed stream open-loop (see :func:`drivers.run_open_loop`)."""
+        return run_open_loop(self, requests, background_updates)
 
     def run_closed_loop(
         self,
@@ -275,126 +192,70 @@ class SsdSimulator:
         queue_depth: int = 32,
         background_updates: list[tuple[float, list[int]]] | None = None,
     ) -> SimMetrics:
-        """Run the request stream closed-loop at a fixed queue depth.
+        """Fixed-queue-depth run (see :func:`drivers.run_closed_loop`)."""
+        return run_closed_loop(self, requests, queue_depth, background_updates)
 
-        Arrival times are ignored: the host keeps ``queue_depth`` requests
-        outstanding, issuing the next one whenever one completes.  The
-        resulting bytes-per-second is the *device-bound* throughput
-        Fig. 10 compares (an open-loop replay's throughput is pinned to
-        the trace's arrival rate and cannot show a device improvement).
-        """
-        if not requests:
-            raise ValueError("empty request stream")
-        if queue_depth < 1:
-            raise ValueError("queue_depth must be >= 1")
-        pending = list(requests)
-        total = len(pending)
-        completed = 0
-        done_event: list[bool] = [False]
-
-        def issue_next() -> None:
-            if not pending:
-                return
-            request = pending.pop(0)
-            rebased = HostRequest(
-                request_id=request.request_id,
-                arrival_us=self.engine.now,
-                is_read=request.is_read,
-                lpns=request.lpns,
-                size_bytes=request.size_bytes,
-            )
-            if rebased.is_read:
-                self._dispatch_read(rebased, on_request_done=on_done)
-            else:
-                self._dispatch_write(rebased, on_request_done=on_done)
-
-        def on_done() -> None:
-            nonlocal completed
-            completed += 1
-            if completed >= total:
-                done_event[0] = True
-                return
-            issue_next()
-
-        for _ in range(min(queue_depth, total)):
-            self.engine.after(0.0, issue_next)
-        for time_us, lpns in background_updates or []:
-            self.engine.at(time_us, self._make_background_batch(list(lpns)))
-        # No refresh daemon deadline in closed-loop mode: scan on a fixed
-        # cadence until the stream completes, then let the queues drain.
-        interval = self.ftl.refresh_policy.scan_interval_us
-
-        def refresh_tick() -> None:
-            ops = self.ftl.check_refresh(self.engine.now)
-            self._issue_internal_sequence(ops)
-            if not done_event[0]:
-                self.engine.after(interval, refresh_tick)
-
-        self.engine.after(interval, refresh_tick)
-        self._begin_run("closed_loop", total)
-        self.engine.run()
-        self.metrics.start_us = 0.0
-        self.metrics.end_us = self.engine.now
-        self._fold_counters()
-        self._end_run()
-        return self.metrics
-
-    def _begin_run(self, mode: str, n_requests: int) -> None:
-        if self.collector is not None:
-            self.collector.start()
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self.engine.now,
-                "run_start",
-                mode=mode,
-                requests=n_requests,
-                dies=len(self.dies),
-                channels=len(self.channels),
-            )
-
-    def _end_run(self) -> None:
-        if self.collector is not None:
-            self.collector.finish()
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self.engine.now,
-                "run_end",
-                elapsed_us=self.metrics.elapsed_us,
-                reads=self.metrics.read_response.count,
-                writes=self.metrics.write_response.count,
-                utilisation=self.utilisation_report(),
-                events_processed=self.engine.processed,
-                peak_pending_events=self.engine.peak_pending,
-            )
-
-    def _make_background_batch(self, lpns: list[int]):
-        def apply() -> None:
-            for lpn in lpns:
-                self.ftl.write_untimed(lpn, self.engine.now)
-
-        return apply
-
-    def _make_dispatch(self, request: HostRequest):
-        def dispatch() -> None:
-            if request.is_read:
-                self._dispatch_read(request)
-            else:
-                self._dispatch_write(request)
-
-        return dispatch
-
-    def _dispatch_read(self, request: HostRequest, on_request_done=None) -> None:
+    # ------------------------------------------------------------------
+    # Host dispatch
+    # ------------------------------------------------------------------
+    def dispatch_read(self, request: HostRequest, on_request_done=None) -> None:
+        """Fan one host read out into per-page read pipelines."""
         now = self.engine.now
         ops = [self.ftl.host_read(lpn, now) for lpn in request.lpns]
         for op in ops:
             assert op.bit is not None and op.wl_validity is not None
             self.metrics.read_mix.record(op.bit, op.wl_validity, op.from_ida)
-        span = _RequestSpan(request) if self.tracer.enabled else None
+        self._launch_request(
+            request, ops, IoPriority.HOST_READ, "read_span", on_request_done
+        )
+
+    def dispatch_write(self, request: HostRequest, on_request_done=None) -> None:
+        """Fan one host write out into page programs (plus any GC work)."""
+        now = self.engine.now
+        host_ops: list[PhysOp] = []
+        for lpn in request.lpns:
+            result = self.ftl.host_write(lpn, now)
+            host_ops.extend(result.host_ops)
+            self.issue_internal_sequence(result.internal_ops)
+        self._launch_request(
+            request, host_ops, IoPriority.HOST_WRITE, "write_span", on_request_done
+        )
+
+    def _launch_request(
+        self,
+        request: HostRequest,
+        ops: list[PhysOp],
+        klass: IoPriority,
+        span_kind: str,
+        on_request_done,
+    ) -> None:
+        span = RequestSpan(request) if self.tracer.enabled else None
+        stats = (
+            self.metrics.read_response
+            if klass is IoPriority.HOST_READ
+            else self.metrics.write_response
+        )
+        record_interval = (
+            None
+            if self.collector is None
+            else (
+                self.collector.record_read
+                if klass is IoPriority.HOST_READ
+                else self.collector.record_write
+            )
+        )
 
         def complete(req: HostRequest, now_us: float) -> None:
-            self._complete_read(req, now_us)
+            response = now_us - req.arrival_us + self.timing.host_overhead_us
+            stats.add(response)
+            if klass is IoPriority.HOST_READ:
+                self.metrics.bytes_read += req.size_bytes
+            else:
+                self.metrics.bytes_written += req.size_bytes
+            if record_interval is not None:
+                record_interval(response, req.size_bytes)
             if span is not None:
-                span.emit(self.tracer, "read_span", now_us, self.timing.host_overhead_us)
+                span.emit(self.tracer, span_kind, now_us, self.timing.host_overhead_us)
             if on_request_done is not None:
                 on_request_done()
 
@@ -404,210 +265,94 @@ class SsdSimulator:
             outstanding.page_done(end_us)
 
         for op in ops:
-            self._issue(op, IoPriority.HOST_READ, page_done, span=span)
-
-    def _dispatch_write(self, request: HostRequest, on_request_done=None) -> None:
-        now = self.engine.now
-        host_ops: list[PhysOp] = []
-        for lpn in request.lpns:
-            result = self.ftl.host_write(lpn, now)
-            host_ops.extend(result.host_ops)
-            self._issue_internal_sequence(result.internal_ops)
-        span = _RequestSpan(request) if self.tracer.enabled else None
-
-        def complete(req: HostRequest, now_us: float) -> None:
-            self._complete_write(req, now_us)
-            if span is not None:
-                span.emit(self.tracer, "write_span", now_us, self.timing.host_overhead_us)
-            if on_request_done is not None:
-                on_request_done()
-
-        outstanding = OutstandingRequest(request, len(host_ops), complete)
-
-        def page_done(start_us: float, end_us: float) -> None:
-            outstanding.page_done(end_us)
-
-        for op in host_ops:
-            self._issue(op, IoPriority.HOST_WRITE, page_done, span=span)
-
-    def _complete_read(self, request: HostRequest, now_us: float) -> None:
-        response = now_us - request.arrival_us + self.timing.host_overhead_us
-        self.metrics.read_response.add(response)
-        self.metrics.bytes_read += request.size_bytes
-        if self.collector is not None:
-            self.collector.record_read(response, request.size_bytes)
-
-    def _complete_write(self, request: HostRequest, now_us: float) -> None:
-        response = now_us - request.arrival_us + self.timing.host_overhead_us
-        self.metrics.write_response.add(response)
-        self.metrics.bytes_written += request.size_bytes
-        if self.collector is not None:
-            self.collector.record_write(response, request.size_bytes)
+            self._issue(op, klass, page_done, span=span)
 
     # ------------------------------------------------------------------
-    # Refresh daemon
+    # Op issue (policy + pipeline)
     # ------------------------------------------------------------------
-    def _schedule_refresh_daemon(self, trace_end_us: float) -> None:
-        interval = self.ftl.refresh_policy.scan_interval_us
-
-        def tick() -> None:
-            ops = self.ftl.check_refresh(self.engine.now)
-            self._issue_internal_sequence(ops)
-            if self.engine.now + interval <= trace_end_us:
-                self.engine.after(interval, tick)
-
-        if interval <= trace_end_us:
-            self.engine.after(interval, tick)
-
-    # ------------------------------------------------------------------
-    # Op pipelines
-    # ------------------------------------------------------------------
-    def _issue_internal_sequence(self, ops: list[PhysOp]) -> None:
+    def issue_internal_sequence(self, ops: list[PhysOp]) -> None:
         """Run internal (GC / refresh) ops one after another.
 
         A refresh or GC pass is a background *process* that works through
         its pages sequentially — issuing its operations as a chain (each
         submitted when the previous completes) spreads the load over time
         instead of flooding every die queue at the scan instant.  Host
-        reads still overtake each queued internal op via priority.
+        reads still overtake each queued internal op via priority; a
+        throttling policy additionally inserts an idle gap between the
+        chained ops.
         """
         if not ops:
             return
         remaining = list(ops)
+        gap_us = self.policy.internal_gap_us
 
         def issue_next(start_us: float = 0.0, end_us: float = 0.0) -> None:
             if not remaining:
                 return
             op = remaining.pop(0)
-            self._issue(op, IoPriority.INTERNAL, issue_next)
+            self._issue(op, IoPriority.INTERNAL, chain)
 
+        def throttled_chain(start_us: float, end_us: float) -> None:
+            if remaining:
+                self.engine.after(gap_us, issue_next)
+
+        # With no gap the next op issues synchronously inside the
+        # completion callback — same event ordering as a direct chain.
+        chain = throttled_chain if gap_us > 0.0 else issue_next
         issue_next()
 
-    def _route(self, op: PhysOp) -> tuple[Resource, Resource]:
-        plane = self.geometry.plane_of_block(op.block_index)
-        die = self.dies[self.geometry.die_of_plane(plane)]
-        channel = self.channels[self.geometry.channel_of_plane(plane)]
-        return die, channel
-
-    def _issue(self, op: PhysOp, priority: IoPriority, on_done, span=None) -> None:
-        die, channel = self._route(op)
-        if op.kind is OpKind.READ:
-            self._issue_read(op, priority, die, channel, on_done, span=span)
-        elif op.kind is OpKind.WRITE:
-            self._issue_write(priority, die, channel, on_done, op=op, span=span)
-        elif op.kind is OpKind.ADJUST:
-            die.submit(priority, self.timing.adjust_us(), on_done)
-        elif op.kind is OpKind.ERASE:
-            die.submit(priority, self.timing.erase_us, on_done)
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unknown op kind {op.kind}")
-
-    def _issue_read(
+    def _issue(
         self,
         op: PhysOp,
-        priority: IoPriority,
-        die: Resource,
-        channel: Resource,
+        klass: IoPriority,
         on_done,
-        span: _RequestSpan | None = None,
+        span: RequestSpan | None = None,
     ) -> None:
-        # Retention-induced read retries hit long-stored data, i.e. host
-        # reads.  Refresh-internal reads either target data about to be
-        # rewritten anyway or verify *freshly reprogrammed* pages whose
-        # RBER is far below the retry threshold, so they decode hard.
-        if priority is IoPriority.HOST_READ:
-            retries = self.retry_model.sample_retries(
-                self._host_retry_rng, senses=op.senses
+        """Route one physical op into its stage pipeline."""
+        die_index, die, channel = self._plane_routes[
+            self.geometry.plane_of_block(op.block_index)
+        ]
+        retries = 0
+        if op.kind is OpKind.READ:
+            # Retention-induced read retries hit long-stored data, i.e.
+            # host reads.  Refresh-internal reads either target data
+            # about to be rewritten anyway or verify *freshly
+            # reprogrammed* pages whose RBER is far below the retry
+            # threshold, so they decode hard.
+            if klass is IoPriority.HOST_READ:
+                retries = self.retry_model.sample_retries(
+                    self._host_retry_rng, senses=op.senses
+                )
+                if retries:
+                    self.metrics.read_retries += retries
+            stages = self._planner.read(die_index, die, channel, op.senses, 1 + retries)
+        elif op.kind is OpKind.WRITE:
+            stages = self._planner.write(die_index, die, channel)
+        elif op.kind is OpKind.ADJUST:
+            stages = self._planner.adjust(die_index, die)
+        elif op.kind is OpKind.ERASE:
+            stages = self._planner.erase(die_index, die)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown op kind {op.kind}")
+        self.ops_dispatched += 1
+        record = None
+        if span is not None:
+            record = PageRecord(
+                op.block_index,
+                op.page if op.page is not None else -1,
+                op.senses,
+                retries,
+                submit_us=self.engine.now,
             )
-        else:
-            retries = 0
-        if retries:
-            self.metrics.read_retries += retries
-        passes = 1 + retries
-        # Read retry re-senses the wordline with shifted voltages ([38]):
-        # the memory-access stage repeats per pass and the decoder runs
-        # per attempt, but the page transfers over the channel once, after
-        # the final successful sense.
-        sense_us = self.timing.read_us(op.senses) * passes
-        transfer_us = self.timing.transfer_us
-        decode_us = self.timing.ecc_decode_us * passes
-
-        if span is None:
-            # Null-tracer fast path: identical to the uninstrumented pipe.
-            def after_transfer(start_us: float, end_us: float) -> None:
-                # Pipelined hardware ECC: latency only, no contention.
-                self.engine.at(end_us + decode_us, lambda: on_done(start_us, end_us + decode_us))
-
-            def after_sense(start_us: float, end_us: float) -> None:
-                channel.submit(priority, transfer_us, after_transfer)
-
-            die.submit(priority, sense_us, after_sense)
-            return
-
-        record = _PageStages(
-            op.block_index, op.page, op.senses, retries, submit_us=self.engine.now
-        )
-        record._stage_submit_us = record.submit_us
-
-        def after_transfer_traced(start_us: float, end_us: float) -> None:
-            record.queue_wait_us += start_us - record._stage_submit_us
-            record.transfer_us = end_us - start_us
-            record.ecc_us = decode_us
-            record.end_us = end_us + decode_us
-
-            def fire() -> None:
-                span.add_page(record)
-                on_done(start_us, end_us + decode_us)
-
-            self.engine.at(record.end_us, fire)
-
-        def after_sense_traced(start_us: float, end_us: float) -> None:
-            record.queue_wait_us += start_us - record._stage_submit_us
-            record.sense_us = end_us - start_us
-            record._stage_submit_us = end_us
-            channel.submit(priority, transfer_us, after_transfer_traced)
-
-        die.submit(priority, sense_us, after_sense_traced)
-
-    def _issue_write(
-        self,
-        priority: IoPriority,
-        die: Resource,
-        channel: Resource,
-        on_done,
-        op: PhysOp | None = None,
-        span: _RequestSpan | None = None,
-    ) -> None:
-        if span is None:
-            def after_transfer(start_us: float, end_us: float) -> None:
-                die.submit(priority, self.timing.program_us, on_done)
-
-            channel.submit(priority, self.timing.transfer_us, after_transfer)
-            return
-
-        record = _PageStages(
-            op.block_index if op is not None else -1,
-            op.page if op is not None and op.page is not None else -1,
-            senses=0,
-            retries=0,
-            submit_us=self.engine.now,
-        )
-        record._stage_submit_us = record.submit_us
-
-        def program_done(start_us: float, end_us: float) -> None:
-            record.queue_wait_us += start_us - record._stage_submit_us
-            record.program_us = end_us - start_us
-            record.end_us = end_us
-            span.add_page(record)
-            on_done(start_us, end_us)
-
-        def after_transfer_traced(start_us: float, end_us: float) -> None:
-            record.queue_wait_us += start_us - record._stage_submit_us
-            record.transfer_us = end_us - start_us
-            record._stage_submit_us = end_us
-            die.submit(priority, self.timing.program_us, program_done)
-
-        channel.submit(priority, self.timing.transfer_us, after_transfer_traced)
+        OpPipeline(
+            self.engine,
+            stages,
+            klass,
+            self._queue_of[klass],
+            on_done,
+            span=span,
+            record=record,
+        ).start()
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -623,40 +368,27 @@ class SsdSimulator:
         elapsed = self.metrics.elapsed_us
         if elapsed <= 0:
             return {"die": 0.0, "channel": 0.0}
-        die = sum(r.utilisation(elapsed) for r in self.dies) / len(self.dies)
-        channel = sum(r.utilisation(elapsed) for r in self.channels) / len(
-            self.channels
-        )
-        return {"die": die, "channel": channel}
+        return {
+            "die": mean_utilisation(self.dies, elapsed),
+            "channel": mean_utilisation(self.channels, elapsed),
+        }
 
     def queue_wait_report(self) -> dict[str, dict[str, dict[str, float]]]:
         """Queue-wait totals per resource class and dispatch priority.
 
-        Aggregates every die (and every channel) into one entry per
-        priority class: ops served, total wait, mean wait.  This is the
-        "queueing at chips/channels" attribution the paper's Sec. V-A
-        discusses — the indirect benefit of faster senses is visible
-        here as shrinking host-read wait, not in the sense time itself.
+        One entry per priority class across all dies (and all channels):
+        ops served, total wait, mean wait (Sec. V-A's "queueing at
+        chips/channels" attribution).
         """
+        return {
+            "die": aggregate_queue_waits(self.dies),
+            "channel": aggregate_queue_waits(self.channels),
+        }
 
-        def aggregate(resources: list[Resource]) -> dict[str, dict[str, float]]:
-            merged: dict[str, dict[str, float]] = {}
-            for resource in resources:
-                for cls, stats in resource.queue_wait_stats().items():
-                    bucket = merged.setdefault(
-                        cls, {"ops": 0, "total_wait_us": 0.0, "mean_wait_us": 0.0}
-                    )
-                    bucket["ops"] += stats["ops"]
-                    bucket["total_wait_us"] += stats["total_wait_us"]
-            for bucket in merged.values():
-                if bucket["ops"]:
-                    bucket["mean_wait_us"] = bucket["total_wait_us"] / bucket["ops"]
-            return merged
-
-        return {"die": aggregate(self.dies), "channel": aggregate(self.channels)}
-
-    def _fold_counters(self) -> None:
+    def fold_counters(self) -> None:
+        """Merge FTL counters and dispatch totals into the run metrics."""
         counters = self.ftl.counters
+        self.metrics.phys_ops_dispatched = self.ops_dispatched
         self.metrics.gc_invocations = counters.gc_invocations
         self.metrics.gc_page_moves = counters.gc_page_moves
         self.metrics.block_erases = counters.block_erases

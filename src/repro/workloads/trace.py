@@ -16,7 +16,6 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
 
 from .request import IoRequest
 

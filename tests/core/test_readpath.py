@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core import IdaTransform, ReadLatencyModel, conventional_tlc, tlc_232
+from repro.core import IdaTransform, ReadLatencyModel
 
 
 class TestTableTwoLatencies:

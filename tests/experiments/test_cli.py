@@ -71,6 +71,27 @@ class TestRunSubcommand:
         with pytest.raises(SystemExit):
             main(["run", "--scale", "tiny", "--system", "warp-drive"])
 
+    def test_run_with_policy(self, capsys, tmp_path):
+        report = tmp_path / "run.json"
+        code = main([
+            "run", "--scale", "tiny", "--workload", "hm_1",
+            "--policy", "fcfs", "--report", str(report),
+        ])
+        assert code == 0
+        assert "policy fcfs" in capsys.readouterr().out
+        import json
+
+        manifest = json.loads(report.read_text())
+        assert manifest["config"]["system"]["policy"] == "fcfs"
+
+    def test_run_rejects_unknown_policy_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scale", "tiny", "--policy", "psychic"])
+        message = str(excinfo.value)
+        assert "psychic" in message
+        for name in ("read-first", "fcfs", "throttled"):
+            assert name in message
+
 
 class TestInspectSubcommand:
     def test_inspect_traced_run(self, capsys, tmp_path):

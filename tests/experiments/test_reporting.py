@@ -7,7 +7,6 @@ import enum
 import json
 from pathlib import Path
 
-import pytest
 
 from repro.experiments.reporting import (
     ascii_table,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.systems import SystemSpec, baseline, error_rate_sweep, ida
+from repro.experiments.systems import baseline, error_rate_sweep, ida
 from repro.ftl.refresh import RefreshMode
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import conventional_tlc
 from repro.flash.block import CONVENTIONAL_WL, Block, PageState, SenseTable
 
 

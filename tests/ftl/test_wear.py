@@ -11,7 +11,7 @@ from repro.ftl.blockstatus import BlockStatusTable
 from repro.ftl.ftl import Ftl, FtlCounters
 from repro.ftl.gc import GcPolicy
 from repro.ftl.refresh import RefreshMode, RefreshPolicy
-from repro.ftl.wear import WearStats, collect_wear, write_amplification
+from repro.ftl.wear import collect_wear, write_amplification
 
 
 def _table():
