@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Benchmark: sequential vs process-pool sweep execution.
+
+Runs the same batch of :class:`~repro.experiments.parallel.RunUnit`\\ s
+through ``execute_units`` inline (``jobs=1``) and on a worker pool,
+always asserting exact payload parity, and reports the wall-clock
+speedup.  With ``--check`` the script fails (exit 1) when the speedup
+falls below ``--min-speedup`` — unless the machine has fewer cores than
+``--jobs``, in which case the assertion is skipped (exit 0): a pool
+cannot beat inline execution without the cores to back it.
+
+Run:  python benchmarks/bench_parallel_sweep.py [--scale quick]
+          [--units 8] [--jobs 4] [--check] [--min-speedup 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import RunUnit, RunScale, baseline, execute_units, ida
+
+WORKLOADS = ["proj_1", "proj_3", "hm_1", "src2_0", "usr_1"]
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_units(count: int, scale: RunScale, seed: int) -> list[RunUnit]:
+    units = []
+    for index in range(count):
+        system = baseline() if index % 2 == 0 else ida(0.2)
+        units.append(
+            RunUnit(system, WORKLOADS[index % len(WORKLOADS)], scale, seed=seed)
+        )
+    return units
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=["tiny", "quick", "bench"],
+                        default="quick")
+    parser.add_argument("--units", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--check", action="store_true",
+                        help="fail below --min-speedup (skipped when the "
+                             "machine has fewer cores than --jobs)")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    args = parser.parse_args(argv)
+
+    scale = getattr(RunScale, args.scale)()
+    units = build_units(args.units, scale, args.seed)
+    cores = available_cores()
+    print(f"scale={args.scale} units={args.units} jobs={args.jobs} "
+          f"cores={cores}")
+
+    started = time.perf_counter()
+    sequential = execute_units(units, jobs=1)
+    sequential_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = execute_units(units, jobs=args.jobs)
+    parallel_s = time.perf_counter() - started
+
+    for unit, seq, par in zip(units, sequential, parallel):
+        assert seq.read_response == par.read_response, (
+            f"parity violation on {unit.describe()}"
+        )
+        assert seq.write_response == par.write_response, (
+            f"parity violation on {unit.describe()}"
+        )
+    print(f"  parity    : OK ({len(units)} payloads identical)")
+
+    speedup = sequential_s / parallel_s if parallel_s > 0 else 0.0
+    print(f"  sequential: {sequential_s:.2f} s")
+    print(f"  parallel  : {parallel_s:.2f} s  (speedup {speedup:.2f}x)")
+
+    if args.check:
+        if cores < args.jobs:
+            print(f"  check skipped: {cores} core(s) < {args.jobs} jobs")
+            return 0
+        if speedup < args.min_speedup:
+            print(f"FAIL: speedup {speedup:.2f}x < {args.min_speedup:.2f}x")
+            return 1
+        print(f"  check OK: speedup >= {args.min_speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,41 @@ import time
 from pathlib import Path
 
 from repro.experiments import RunScale, ida, run_workload
+from repro.sim.engine import SimEngine
 from repro.workloads import workload
+
+
+def time_engine(events: int, reps: int) -> list[float]:
+    """Raw event-loop throughput: self-rescheduling tick chains.
+
+    Exercises exactly the ``SimEngine.run`` hot loop (pop, clock advance,
+    callback dispatch, re-push) with trivial callbacks, so changes to the
+    loop show up undiluted by FTL work.
+    """
+    chains = 64
+    per_chain = events // chains
+    times: list[float] = []
+    for _ in range(reps):
+        engine = SimEngine()
+
+        def make_tick(period: float):
+            remaining = per_chain
+
+            def tick() -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining > 0:
+                    engine.after(period, tick)
+
+            return tick
+
+        for chain in range(chains):
+            engine.after(0.5 + chain * 0.01, make_tick(1.0 + chain * 0.01))
+        started = time.perf_counter()
+        engine.run()
+        times.append(time.perf_counter() - started)
+        assert engine.processed == chains * per_chain
+    return times
 
 
 def time_runs(scale: RunScale, policy: str, reps: int) -> tuple[list[float], int]:
@@ -80,6 +114,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {policy:<11}: {median:.3f} s  "
               f"({ops} phys ops, {ops_per_s:,.0f} ops/s)")
 
+    engine_events = 512_000
+    engine_times = time_engine(engine_events, args.reps)
+    engine_median = statistics.median(engine_times)
+    events_per_s = engine_events / engine_median if engine_median > 0 else 0.0
+    report["engine"] = {
+        "median_s": engine_median,
+        "events": engine_events,
+        "events_per_s": events_per_s,
+    }
+    print(f"  {'engine':<11}: {engine_median:.3f} s  "
+          f"({engine_events} events, {events_per_s:,.0f} events/s)")
+
     if args.record:
         path = Path(args.record)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -98,6 +144,17 @@ def main(argv: list[str] | None = None) -> int:
             verdict = "OK" if delta <= args.threshold else "FAIL"
             print(f"  {policy:<11}: {delta:+.1f}% vs baseline "
                   f"({reference['median_s']:.3f} s)  [{verdict}]")
+            failed = failed or delta > args.threshold
+        engine_base = base.get("engine")
+        if engine_base is None:
+            print("  engine: no baseline entry, skipped")
+        else:
+            delta = (
+                report["engine"]["median_s"] / engine_base["median_s"] - 1.0
+            ) * 100.0
+            verdict = "OK" if delta <= args.threshold else "FAIL"
+            print(f"  {'engine':<11}: {delta:+.1f}% vs baseline "
+                  f"({engine_base['median_s']:.3f} s)  [{verdict}]")
             failed = failed or delta > args.threshold
         if args.check and failed:
             print(f"FAIL: slowdown exceeds {args.threshold:.1f}%")

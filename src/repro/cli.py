@@ -103,13 +103,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated workload subset (default: the paper's 11)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep fan-out (default: 1 = inline)",
+    )
     return parser
 
 
-def _run_one(name: str, scale: RunScale, workload_names: list[str] | None) -> str:
+def _run_one(
+    name: str,
+    scale: RunScale,
+    workload_names: list[str] | None,
+    jobs: int = 1,
+) -> str:
     runner, formatter = ARTIFACTS[name]
     started = time.time()
-    result = runner(scale=scale, workload_names=workload_names)
+    result = runner(
+        scale=scale,
+        workload_names=workload_names,
+        jobs=jobs,
+        progress=print if jobs > 1 else None,
+    )
     elapsed = time.time() - started
     return f"{formatter(result)}\n[{name}: {elapsed:.1f}s]"
 
@@ -150,11 +167,15 @@ def _build_run_parser() -> argparse.ArgumentParser:
                         help="collect an interval time-series every N simulated us")
     parser.add_argument("--report", metavar="PATH", default=None,
                         help="write the run manifest (JSON) to PATH")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (N>1 runs in a pool; tracing "
+                             "and interval collection require --jobs 1)")
     return parser
 
 
 def _cmd_run(argv: list[str]) -> int:
-    from .experiments.reporting import manifest_for_run, write_run_manifest
+    from .experiments.parallel import RunUnit, SweepExecutor
+    from .experiments.reporting import manifest_for_payload, write_run_manifest
     from .experiments.runner import run_workload
     from .workloads import workload
 
@@ -171,37 +192,51 @@ def _cmd_run(argv: list[str]) -> int:
     scale = _SCALES[args.scale]()
     if args.interval_us is not None and args.interval_us <= 0:
         raise SystemExit("--interval-us must be positive")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.jobs > 1 and (args.trace or args.interval_us):
+        raise SystemExit(
+            "--trace / --interval-us need the inline path; rerun with --jobs 1"
+        )
 
     tracer = Tracer(JsonlSink(args.trace)) if args.trace else None
     collector = (
         IntervalCollector(args.interval_us) if args.interval_us else None
     )
     started = time.time()
-    result = run_workload(
-        system, spec, scale, seed=args.seed, tracer=tracer, collector=collector
-    )
+    if args.jobs == 1:
+        result = run_workload(
+            system, spec, scale, seed=args.seed, tracer=tracer,
+            collector=collector,
+        )
+        payload = result.to_payload()
+    else:
+        unit = RunUnit(system, args.workload, scale, seed=args.seed)
+        payload = SweepExecutor(jobs=args.jobs).map([unit])[0]
     elapsed = time.time() - started
     if tracer is not None:
         tracer.close()
 
-    read = result.metrics.read_response.summary()
+    read = payload.read_response
+    write = payload.write_response
     print(f"{system.name} on {args.workload} @ {args.scale} "
-          f"({elapsed:.1f}s wall, seed {args.seed}, policy {system.policy})")
+          f"({elapsed:.1f}s wall, seed {args.seed}, policy {system.policy}, "
+          f"jobs {args.jobs})")
     print(f"  reads : {read['count']}  mean {read['mean_us']:.1f} us  "
           f"p95 {read['p95_us']:.1f} us  p99 {read['p99_us']:.1f} us")
-    print(f"  writes: {result.metrics.write_response.count}  "
-          f"mean {result.metrics.write_response.mean_us:.1f} us")
-    print(f"  throughput: {result.throughput_mb_s:.2f} MB/s  "
-          f"utilisation: die {result.utilisation.get('die', 0.0):.1%} / "
-          f"channel {result.utilisation.get('channel', 0.0):.1%}")
+    print(f"  writes: {write['count']}  mean {write['mean_us']:.1f} us")
+    print(f"  throughput: {payload.throughput_mb_s:.2f} MB/s  "
+          f"utilisation: die {payload.utilisation.get('die', 0.0):.1%} / "
+          f"channel {payload.utilisation.get('channel', 0.0):.1%}")
     if tracer is not None:
         print(f"  trace : {args.trace} ({tracer.events_emitted} events)")
     if collector is not None:
         print(f"  series: {len(collector.snapshots)} intervals of "
               f"{args.interval_us:.0f} us")
     if args.report:
-        manifest = manifest_for_run(
-            result, collector=collector, trace_path=args.trace
+        manifest = manifest_for_payload(
+            payload, collector=collector, trace_path=args.trace,
+            jobs=args.jobs,
         )
         path = write_run_manifest(manifest, args.report)
         print(f"  report: {path} (config {manifest['config_hash']})")
@@ -243,11 +278,13 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(ARTIFACTS):
             print(name)
         return 0
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
     scale = _SCALES[args.scale]()
     workload_names = args.workloads.split(",") if args.workloads else None
     targets = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in targets:
-        print(_run_one(name, scale, workload_names))
+        print(_run_one(name, scale, workload_names, jobs=args.jobs))
         print()
     return 0
 

@@ -18,20 +18,31 @@ from .fig8_response_time import Fig8Result, format_fig8, run_fig8
 from .fig9_dtr_sensitivity import Fig9Result, format_fig9, run_fig9
 from .fig10_throughput import Fig10Result, format_fig10, run_fig10
 from .fig11_read_retry import Fig11Result, LifetimePhase, format_fig11, run_fig11
+from .parallel import (
+    RunUnit,
+    SweepError,
+    SweepExecutor,
+    execute_unit,
+    execute_units,
+)
 from .qlc_extension import QlcResult, format_qlc, run_qlc_extension
 from .reporting import (
     ascii_table,
     build_run_manifest,
     config_hash,
     format_pct,
+    manifest_for_payload,
     manifest_for_run,
     metrics_summary,
     write_run_manifest,
 )
 from .runner import (
+    CapacityCensus,
     RunResult,
+    RunResultPayload,
     improvement_pct,
     normalized_read_response,
+    run_capacity_phase_pair,
     run_workload,
     run_workload_closed_loop,
 )
@@ -72,16 +83,25 @@ __all__ = [
     "QlcResult",
     "format_qlc",
     "run_qlc_extension",
+    "RunUnit",
+    "SweepError",
+    "SweepExecutor",
+    "execute_unit",
+    "execute_units",
     "ascii_table",
     "format_pct",
     "build_run_manifest",
     "config_hash",
+    "manifest_for_payload",
     "manifest_for_run",
     "metrics_summary",
     "write_run_manifest",
+    "CapacityCensus",
     "RunResult",
+    "RunResultPayload",
     "improvement_pct",
     "normalized_read_response",
+    "run_capacity_phase_pair",
     "run_workload",
     "run_workload_closed_loop",
     "SystemSpec",

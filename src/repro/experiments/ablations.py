@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import improvement_pct, run_workload
-from .systems import baseline, ida
+from .runner import improvement_pct
+from .systems import SystemSpec, baseline, ida
 
 __all__ = [
     "AblationResult",
@@ -48,29 +48,55 @@ def _workloads(workload_names: list[str] | None) -> list[str]:
     return workload_names or ["proj_1", "usr_1", "src2_0"]
 
 
+def _run_paired_sweep(
+    knob: str,
+    cells: list[tuple[str, str, SystemSpec, SystemSpec, RunScale]],
+    seed: int,
+    jobs: int,
+    progress: ProgressFn | None,
+) -> AblationResult:
+    """Fan out (setting, workload, baseline, variant, scale) cells.
+
+    Each cell becomes one baseline unit and one variant unit; the
+    improvement is computed after the fan-out from the collected pairs.
+    """
+    units = []
+    for _, name, base_system, variant_system, scale in cells:
+        units.append(RunUnit(base_system, name, scale, seed=seed))
+        units.append(RunUnit(variant_system, name, scale, seed=seed))
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
+    result = AblationResult(knob=knob)
+    for index, (setting, name, *_) in enumerate(cells):
+        base, variant = payloads[2 * index : 2 * index + 2]
+        result.improvement_pct.setdefault(setting, {})[name] = improvement_pct(
+            variant, base
+        )
+    return result
+
+
 def run_adjust_cost_ablation(
     scale: RunScale | None = None,
     workload_names: list[str] | None = None,
     fractions: tuple[float, ...] = (0.5, 1.0),
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> AblationResult:
     """IDA benefit under proportional vs conservative adjustment cost."""
     scale = scale or RunScale.bench()
-    result = AblationResult(knob="adjust_program_fraction")
-    for fraction in fractions:
-        setting = f"adjust={fraction:g}x"
-        result.improvement_pct[setting] = {}
-        for name in _workloads(workload_names):
-            spec = TABLE3_WORKLOADS[name]
-            base = run_workload(baseline(), spec, scale, seed=seed)
-            variant = run_workload(
-                replace(ida(0.2), adjust_program_fraction=fraction),
-                spec,
-                scale,
-                seed=seed,
-            )
-            result.improvement_pct[setting][name] = improvement_pct(variant, base)
-    return result
+    cells = [
+        (
+            f"adjust={fraction:g}x",
+            name,
+            baseline(),
+            replace(ida(0.2), adjust_program_fraction=fraction),
+            scale,
+        )
+        for fraction in fractions
+        for name in _workloads(workload_names)
+    ]
+    return _run_paired_sweep("adjust_program_fraction", cells, seed, jobs, progress)
 
 
 def run_refresh_frequency_ablation(
@@ -78,20 +104,23 @@ def run_refresh_frequency_ablation(
     workload_names: list[str] | None = None,
     cycles: tuple[float, ...] = (1.5, 3.0, 6.0),
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> AblationResult:
     """IDA benefit vs refresh cycles per trace (more cycles = fresher IDA)."""
     scale = scale or RunScale.bench()
-    result = AblationResult(knob="refresh_cycles")
-    for value in cycles:
-        scaled = replace(scale, refresh_cycles=value)
-        setting = f"cycles={value:g}"
-        result.improvement_pct[setting] = {}
-        for name in _workloads(workload_names):
-            spec = TABLE3_WORKLOADS[name]
-            base = run_workload(baseline(), spec, scaled, seed=seed)
-            variant = run_workload(ida(0.2), spec, scaled, seed=seed)
-            result.improvement_pct[setting][name] = improvement_pct(variant, base)
-    return result
+    cells = [
+        (
+            f"cycles={value:g}",
+            name,
+            baseline(),
+            ida(0.2),
+            replace(scale, refresh_cycles=value),
+        )
+        for value in cycles
+        for name in _workloads(workload_names)
+    ]
+    return _run_paired_sweep("refresh_cycles", cells, seed, jobs, progress)
 
 
 def run_allocation_ablation(
@@ -99,23 +128,23 @@ def run_allocation_ablation(
     workload_names: list[str] | None = None,
     strategies: tuple[str, ...] = ("cwdp", "pdwc"),
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> AblationResult:
     """IDA benefit under different static allocation stripe orders."""
     scale = scale or RunScale.bench()
-    result = AblationResult(knob="allocation")
-    for strategy in strategies:
-        setting = f"alloc={strategy}"
-        result.improvement_pct[setting] = {}
-        for name in _workloads(workload_names):
-            spec = TABLE3_WORKLOADS[name]
-            base = run_workload(
-                replace(baseline(), allocation=strategy), spec, scale, seed=seed
-            )
-            variant = run_workload(
-                replace(ida(0.2), allocation=strategy), spec, scale, seed=seed
-            )
-            result.improvement_pct[setting][name] = improvement_pct(variant, base)
-    return result
+    cells = [
+        (
+            f"alloc={strategy}",
+            name,
+            replace(baseline(), allocation=strategy),
+            replace(ida(0.2), allocation=strategy),
+            scale,
+        )
+        for strategy in strategies
+        for name in _workloads(workload_names)
+    ]
+    return _run_paired_sweep("allocation", cells, seed, jobs, progress)
 
 
 def format_ablation(result: AblationResult) -> str:

@@ -16,12 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..workloads.msr import TABLE3_WORKLOADS
-from ..workloads.synthetic import generate_workload, sample_update_lpns
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import build_simulator, _to_host_requests
-from .systems import SystemSpec, baseline, ida
+from .runner import CapacityCensus
+from .systems import baseline, ida
 
 __all__ = ["CapacityResult", "run_capacity_analysis", "format_capacity"]
 
@@ -68,35 +67,14 @@ class CapacityResult:
         return (variant.block_erases - base.block_erases) / base.block_erases
 
 
-def _run_phase_pair(
-    system: SystemSpec, workload_name: str, scale: RunScale, seed: int
-) -> CapacityRow:
-    """Read-intensive phase followed by a write-intensive phase."""
-    spec = TABLE3_WORKLOADS[workload_name].scaled(
-        scale.num_requests, scale.footprint_pages
-    )
-    generated = generate_workload(spec)
-    sim = build_simulator(system, scale, spec.duration_us, seed=seed)
-    page_size = sim.geometry.page_size_bytes
-    period = sim.ftl.refresh_policy.period_us
-    sim.preload(generated.fill_lpns, -1.4 * period, -0.4 * period)
-    sim.age(generated.aging_lpns, -0.35 * period)
-    sim.run_requests(_to_host_requests(generated, page_size))
-
-    # Write-intensive follow-up: rewrite a large sample of the footprint
-    # (untimed logical churn is enough — the claim is about GC counts).
-    followup = sample_update_lpns(spec, scale.footprint_pages, seed_offset=9)
-    now = sim.engine.now
-    for lpn in followup:
-        sim.ftl.write_untimed(lpn, now)
-
+def _row_from_census(system_name: str, census: CapacityCensus) -> CapacityRow:
     return CapacityRow(
-        system=system.name,
-        in_use_blocks=sim.ftl.table.in_use_blocks(),
-        ida_blocks=sim.ftl.table.ida_blocks(),
-        total_blocks=sim.geometry.total_blocks,
-        gc_invocations=sim.ftl.counters.gc_invocations,
-        block_erases=sim.ftl.counters.block_erases,
+        system=system_name,
+        in_use_blocks=census.in_use_blocks,
+        ida_blocks=census.ida_blocks,
+        total_blocks=census.total_blocks,
+        gc_invocations=census.gc_invocations,
+        block_erases=census.block_erases,
     )
 
 
@@ -104,15 +82,25 @@ def run_capacity_analysis(
     scale: RunScale | None = None,
     workload_names: list[str] | None = None,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> list[CapacityResult]:
     """Compare block census and GC cost, baseline vs IDA-E20."""
     scale = scale or RunScale.bench()
     names = workload_names or ["proj_1", "usr_1", "src2_0"]
-    results = []
+    units = []
     for name in names:
-        result = CapacityResult(workload=name)
         for system in (baseline(), ida(0.2)):
-            result.rows.append(_run_phase_pair(system, name, scale, seed))
+            units.append(RunUnit(system, name, scale, seed=seed, mode="capacity"))
+    censuses = execute_units(units, jobs=jobs, progress=progress)
+
+    results = []
+    for index, name in enumerate(names):
+        result = CapacityResult(workload=name)
+        for unit, census in zip(
+            units[2 * index : 2 * index + 2], censuses[2 * index : 2 * index + 2]
+        ):
+            result.rows.append(_row_from_census(unit.system.name, census))
         results.append(result)
     return results
 

@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import run_workload_closed_loop
 from .systems import baseline, ida
 
 __all__ = ["Fig10Result", "run_fig10", "format_fig10"]
@@ -38,19 +38,30 @@ def run_fig10(
     error_rate: float = 0.2,
     queue_depth: int = 32,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Fig10Result:
     """Closed-loop throughput comparison, baseline vs IDA-E{error_rate}."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
-    result = Fig10Result()
+    units = []
     for name in names:
-        spec = TABLE3_WORKLOADS[name]
-        base = run_workload_closed_loop(
-            baseline(), spec, scale, queue_depth=queue_depth, seed=seed
-        )
-        variant = run_workload_closed_loop(
-            ida(error_rate), spec, scale, queue_depth=queue_depth, seed=seed
-        )
+        for system in (baseline(), ida(error_rate)):
+            units.append(
+                RunUnit(
+                    system,
+                    name,
+                    scale,
+                    seed=seed,
+                    mode="closed",
+                    queue_depth=queue_depth,
+                )
+            )
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
+    result = Fig10Result()
+    for index, name in enumerate(names):
+        base, variant = payloads[2 * index : 2 * index + 2]
         base_tp = base.throughput_mb_s
         result.baseline_mb_s[name] = base_tp
         result.normalized[name] = (

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import normalized_read_response, run_workload
+from .runner import normalized_read_response
 from .systems import baseline, ida
 
 __all__ = ["LifetimePhase", "Fig11Result", "run_fig11", "format_fig11", "DEFAULT_PHASES"]
@@ -54,24 +55,39 @@ def run_fig11(
     phases: tuple[LifetimePhase, ...] = DEFAULT_PHASES,
     error_rate: float = 0.2,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Fig11Result:
     """Compare IDA-E20 vs baseline in each lifetime phase."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
-    result = Fig11Result(phases=phases)
+    units = []
     for name in names:
-        spec = TABLE3_WORKLOADS[name]
+        for phase in phases:
+            units.append(
+                RunUnit(
+                    baseline().with_retry(phase.retry_fail_prob),
+                    name,
+                    scale,
+                    seed=seed,
+                )
+            )
+            units.append(
+                RunUnit(
+                    ida(error_rate).with_retry(phase.retry_fail_prob),
+                    name,
+                    scale,
+                    seed=seed,
+                )
+            )
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
+    result = Fig11Result(phases=phases)
+    pairs = iter(zip(payloads[::2], payloads[1::2]))
+    for name in names:
         result.normalized[name] = {}
         for phase in phases:
-            base = run_workload(
-                baseline().with_retry(phase.retry_fail_prob), spec, scale, seed=seed
-            )
-            variant = run_workload(
-                ida(error_rate).with_retry(phase.retry_fail_prob),
-                spec,
-                scale,
-                seed=seed,
-            )
+            base, variant = next(pairs)
             result.normalized[name][phase.name] = normalized_read_response(
                 variant, base
             )

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import EXTRA_WORKLOADS, TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table, format_pct
-from .runner import run_workload
+from .runner import RunResultPayload
 from .systems import baseline
 
 __all__ = ["Fig4Row", "Fig4Result", "run_fig4", "format_fig4"]
@@ -52,9 +53,8 @@ class Fig4Result:
         return self._avg(self.main, "msb_with_invalid_lower")
 
 
-def _measure(name: str, spec, scale: RunScale, seed: int) -> Fig4Row:
-    run = run_workload(baseline(), spec, scale, seed=seed)
-    mix = run.metrics.read_mix
+def _row_from_payload(name: str, payload: RunResultPayload) -> Fig4Row:
+    mix = payload.read_mix
     return Fig4Row(
         workload=name,
         lsb_share=mix.fraction_of_type(0),
@@ -70,16 +70,26 @@ def run_fig4(
     workload_names: list[str] | None = None,
     include_extra: bool = True,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Fig4Result:
     """Measure the read mix for the main and extra workload panels."""
     scale = scale or RunScale.bench()
-    result = Fig4Result()
     main_names = workload_names or list(TABLE3_WORKLOADS)
-    for name in main_names:
-        result.main.append(_measure(name, TABLE3_WORKLOADS[name], scale, seed))
-    if include_extra and workload_names is None:
-        for name, spec in EXTRA_WORKLOADS.items():
-            result.extra.append(_measure(name, spec, scale, seed))
+    extra_names = (
+        list(EXTRA_WORKLOADS) if include_extra and workload_names is None else []
+    )
+    units = [
+        RunUnit(baseline(), name, scale, seed=seed)
+        for name in main_names + extra_names
+    ]
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
+    result = Fig4Result()
+    for name, payload in zip(main_names, payloads):
+        result.main.append(_row_from_payload(name, payload))
+    for name, payload in zip(extra_names, payloads[len(main_names):]):
+        result.extra.append(_row_from_payload(name, payload))
     return result
 
 

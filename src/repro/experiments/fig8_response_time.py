@@ -12,8 +12,9 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import normalized_read_response, run_workload
+from .runner import normalized_read_response
 from .systems import baseline, ida
 
 __all__ = ["Fig8Result", "run_fig8", "format_fig8", "DEFAULT_ERROR_RATES"]
@@ -38,6 +39,17 @@ class Fig8Result:
         return [f"ida-e{int(round(rate * 100))}" for rate in self.error_rates]
 
     def average(self, system_name: str) -> float:
+        missing = sorted(
+            name
+            for name, per_wl in self.normalized.items()
+            if system_name not in per_wl
+        )
+        if missing:
+            raise KeyError(
+                f"system {system_name!r} has no result for workload(s) "
+                f"{', '.join(missing)}; this Fig8Result holds "
+                f"{sorted({s for per in self.normalized.values() for s in per})}"
+            )
         values = [per_wl[system_name] for per_wl in self.normalized.values()]
         return sum(values) / len(values) if values else 1.0
 
@@ -50,22 +62,29 @@ def run_fig8(
     workload_names: list[str] | None = None,
     error_rates: tuple[float, ...] = DEFAULT_ERROR_RATES,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Fig8Result:
-    """Run the Fig. 8 sweep."""
+    """Run the Fig. 8 sweep; ``jobs`` fans the runs out over processes."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
-    result = Fig8Result(error_rates=error_rates)
+    units = []
     for name in names:
-        spec = TABLE3_WORKLOADS[name]
-        base = run_workload(baseline(), spec, scale, seed=seed)
+        units.append(RunUnit(baseline(), name, scale, seed=seed))
+        units.extend(
+            RunUnit(ida(rate), name, scale, seed=seed) for rate in error_rates
+        )
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
+    result = Fig8Result(error_rates=error_rates)
+    stride = 1 + len(error_rates)
+    for index, name in enumerate(names):
+        base, *variants = payloads[index * stride : (index + 1) * stride]
         result.baseline_rt_us[name] = base.mean_read_response_us
-        result.normalized[name] = {}
-        for rate in error_rates:
-            system = ida(rate)
-            variant = run_workload(system, spec, scale, seed=seed)
-            result.normalized[name][system.name] = normalized_read_response(
-                variant, base
-            )
+        result.normalized[name] = {
+            variant.system.name: normalized_read_response(variant, base)
+            for variant in variants
+        }
     return result
 
 

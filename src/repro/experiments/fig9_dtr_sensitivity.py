@@ -12,8 +12,9 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import normalized_read_response, run_workload
+from .runner import normalized_read_response
 from .systems import baseline, ida
 
 __all__ = ["Fig9Result", "run_fig9", "format_fig9", "DEFAULT_DTR_SWEEP"]
@@ -40,19 +41,27 @@ def run_fig9(
     dtr_values: tuple[float, ...] = DEFAULT_DTR_SWEEP,
     error_rate: float = 0.2,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Fig9Result:
     """Run the dtR sweep; baseline and IDA share each dtR setting."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
-    result = Fig9Result(dtr_values=dtr_values)
+    units = []
     for name in names:
-        spec = TABLE3_WORKLOADS[name]
+        for dtr in dtr_values:
+            units.append(RunUnit(baseline().with_dtr(dtr), name, scale, seed=seed))
+            units.append(
+                RunUnit(ida(error_rate).with_dtr(dtr), name, scale, seed=seed)
+            )
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
+    result = Fig9Result(dtr_values=dtr_values)
+    pairs = iter(zip(payloads[::2], payloads[1::2]))
+    for name in names:
         result.normalized[name] = {}
         for dtr in dtr_values:
-            base = run_workload(baseline().with_dtr(dtr), spec, scale, seed=seed)
-            variant = run_workload(
-                ida(error_rate).with_dtr(dtr), spec, scale, seed=seed
-            )
+            base, variant = next(pairs)
             result.normalized[name][dtr] = normalized_read_response(variant, base)
     return result
 

@@ -1,0 +1,276 @@
+"""Parallel sweep execution: process-pool fan-out over independent runs.
+
+Every reproduced figure and table is a sweep of fully independent
+``(system, workload, scale, seed)`` simulations — ``run_fig8`` alone is
+11 workloads x 7 systems.  This module turns such a sweep into a list of
+declarative :class:`RunUnit` descriptions and executes them on a
+``multiprocessing`` pool, with results returned **in submission order**.
+
+The determinism contract
+------------------------
+
+Each unit carries its own seed and each worker constructs its own
+simulator from scratch, so a unit's result is a pure function of the
+unit description.  Parallel execution therefore produces *exactly* the
+same numbers as sequential execution — pinned by
+``tests/experiments/test_parallel_parity.py`` against the sequential
+golden file — and ``jobs`` is a pure wall-clock knob that is safe to
+flip on any experiment.
+
+Only compact :class:`~repro.experiments.runner.RunResultPayload` objects
+(or :class:`~repro.experiments.runner.CapacityCensus` for capacity-mode
+units) cross the process boundary; raw metrics with per-sample lists
+never do.  Tracing and interval collection are *inline-only* (``jobs=1``,
+the default): a tracer is an open file plus callbacks, neither of which
+can usefully cross a fork, and interleaving events from concurrent runs
+would destroy the per-run ordering the trace inspector relies on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..obs.interval import IntervalCollector
+from ..obs.tracer import Tracer
+from ..workloads.msr import workload as _catalog_workload
+from ..workloads.synthetic import WorkloadSpec
+from .config import RunScale
+from .runner import (
+    CapacityCensus,
+    RunResultPayload,
+    run_capacity_phase_pair,
+    run_workload,
+    run_workload_closed_loop,
+)
+from .systems import SystemSpec
+
+__all__ = [
+    "RunUnit",
+    "SweepError",
+    "SweepExecutor",
+    "execute_unit",
+    "execute_units",
+]
+
+#: Log-style progress callback: called once per completed unit.
+ProgressFn = Callable[[str], None]
+
+_MODES = ("open", "closed", "capacity")
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One independent simulation of a sweep, picklable by construction.
+
+    Attributes:
+        system: The system spec to simulate.
+        workload: A catalog workload name (resolved worker-side) or an
+            explicit :class:`WorkloadSpec` for non-catalog workloads.
+        scale: Run scale (scaling of the spec happens in the worker).
+        seed: The unit's own RNG seed — determinism is per-unit.
+        mode: ``"open"`` (trace replay), ``"closed"`` (fixed queue
+            depth, Fig. 10) or ``"capacity"`` (read-then-write phase
+            pair, Sec. III-C).
+        queue_depth: Outstanding requests for ``"closed"`` units.
+    """
+
+    system: SystemSpec
+    workload: str | WorkloadSpec
+    scale: RunScale
+    seed: int = 11
+    mode: str = "open"
+    queue_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; choose one of {_MODES}"
+            )
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, str):
+            return self.workload
+        return self.workload.name
+
+    def resolve_workload(self) -> WorkloadSpec:
+        if isinstance(self.workload, str):
+            return _catalog_workload(self.workload)
+        return self.workload
+
+    def describe(self) -> str:
+        return f"{self.system.name}/{self.workload_name}"
+
+
+class SweepError(RuntimeError):
+    """A sweep unit failed; ``unit`` identifies which one.
+
+    The worker's original exception is chained as ``__cause__`` and its
+    formatted worker-side traceback is kept in ``details``.
+    """
+
+    def __init__(self, unit: RunUnit, message: str, details: str = ""):
+        super().__init__(
+            f"sweep unit {unit.describe()} "
+            f"(mode={unit.mode}, seed={unit.seed}) failed: {message}"
+        )
+        self.unit = unit
+        self.details = details
+
+
+def execute_unit(
+    unit: RunUnit,
+    tracer: Tracer | None = None,
+    collector: IntervalCollector | None = None,
+) -> RunResultPayload | CapacityCensus:
+    """Run one unit in the current process (worker body and inline path)."""
+    spec = unit.resolve_workload()
+    if unit.mode == "open":
+        return run_workload(
+            unit.system,
+            spec,
+            unit.scale,
+            seed=unit.seed,
+            tracer=tracer,
+            collector=collector,
+        ).to_payload()
+    if unit.mode == "closed":
+        return run_workload_closed_loop(
+            unit.system,
+            spec,
+            unit.scale,
+            queue_depth=unit.queue_depth,
+            seed=unit.seed,
+            tracer=tracer,
+            collector=collector,
+        ).to_payload()
+    return run_capacity_phase_pair(unit.system, spec, unit.scale, seed=unit.seed)
+
+
+class _WorkerFailure:
+    """Picklable envelope for an exception raised inside a pool worker."""
+
+    def __init__(self, exception: BaseException, details: str):
+        self.exception = exception
+        self.details = details
+
+
+def _pool_worker(unit: RunUnit):
+    try:
+        return execute_unit(unit)
+    except Exception as exc:
+        details = traceback.format_exc()
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"unpicklable worker exception: {exc!r}")
+        return _WorkerFailure(exc, details)
+
+
+class SweepExecutor:
+    """Executes :class:`RunUnit` lists, inline or on a process pool.
+
+    ``jobs=1`` (the default) runs every unit in-process, which keeps
+    tracer / interval-collector support; ``jobs>1`` fans units out to a
+    ``multiprocessing`` pool.  Either way :meth:`map` returns results in
+    submission order and raises :class:`SweepError` on the first failed
+    unit after shutting the pool down cleanly.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        progress: ProgressFn | None = None,
+        mp_context=None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.progress = progress
+        self._mp_context = mp_context
+
+    def map(
+        self,
+        units: Sequence[RunUnit],
+        tracer_factory: Callable[[RunUnit], Tracer | None] | None = None,
+        collector_factory: Callable[[RunUnit], IntervalCollector | None] | None = None,
+    ) -> list[RunResultPayload | CapacityCensus]:
+        units = list(units)
+        for unit in units:
+            if not isinstance(unit, RunUnit):
+                raise TypeError(f"expected RunUnit, got {type(unit).__name__}")
+        if not units:
+            return []
+        if self.jobs == 1:
+            return self._map_inline(units, tracer_factory, collector_factory)
+        if tracer_factory is not None or collector_factory is not None:
+            raise ValueError(
+                "tracing / interval collection is inline-only; use jobs=1"
+            )
+        return self._map_pool(units)
+
+    def _emit(
+        self, done: int, total: int, unit: RunUnit, elapsed_s: float | None = None
+    ) -> None:
+        if self.progress is None:
+            return
+        timing = f" ({elapsed_s:.1f}s)" if elapsed_s is not None else ""
+        self.progress(f"[{done}/{total}] {unit.describe()}{timing}")
+
+    def _map_inline(self, units, tracer_factory, collector_factory):
+        results = []
+        total = len(units)
+        for index, unit in enumerate(units):
+            tracer = tracer_factory(unit) if tracer_factory else None
+            collector = collector_factory(unit) if collector_factory else None
+            started = time.perf_counter()
+            try:
+                results.append(
+                    execute_unit(unit, tracer=tracer, collector=collector)
+                )
+            except Exception as exc:
+                raise SweepError(unit, str(exc)) from exc
+            self._emit(index + 1, total, unit, time.perf_counter() - started)
+        return results
+
+    def _map_pool(self, units):
+        context = self._mp_context or multiprocessing.get_context()
+        pool = context.Pool(processes=min(self.jobs, len(units)))
+        results = []
+        total = len(units)
+        try:
+            # imap yields in submission order, which is also the order
+            # callers index results by; chunksize=1 keeps long and short
+            # units balanced across workers.
+            for index, outcome in enumerate(
+                pool.imap(_pool_worker, units, chunksize=1)
+            ):
+                unit = units[index]
+                if isinstance(outcome, _WorkerFailure):
+                    raise SweepError(
+                        unit, str(outcome.exception), outcome.details
+                    ) from outcome.exception
+                results.append(outcome)
+                self._emit(index + 1, total, unit)
+            pool.close()
+            pool.join()
+        finally:
+            # Idempotent after a clean close/join; on the error path this
+            # reaps the workers so no orphan processes outlive the sweep.
+            pool.terminate()
+            pool.join()
+        return results
+
+
+def execute_units(
+    units: Sequence[RunUnit],
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+) -> list[RunResultPayload | CapacityCensus]:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    return SweepExecutor(jobs=jobs, progress=progress).map(units)

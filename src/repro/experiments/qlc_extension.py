@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import improvement_pct, run_workload
+from .runner import improvement_pct
 from .systems import baseline, ida
 
 __all__ = ["QlcResult", "run_qlc_extension", "format_qlc"]
@@ -38,18 +39,25 @@ def run_qlc_extension(
     devices: tuple[str, ...] = ("tlc", "qlc", "tlc232"),
     error_rate: float = 0.2,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> QlcResult:
     """Compare IDA benefit across cell densities / codings."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
+    cells = [(dev, name) for dev in devices for name in names]
+    units = []
+    for dev, name in cells:
+        units.append(RunUnit(baseline(dev), name, scale, seed=seed))
+        units.append(RunUnit(ida(error_rate, dev), name, scale, seed=seed))
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
     result = QlcResult()
-    for dev in devices:
-        result.improvement_pct[dev] = {}
-        for name in names:
-            spec = TABLE3_WORKLOADS[name]
-            base = run_workload(baseline(dev), spec, scale, seed=seed)
-            variant = run_workload(ida(error_rate, dev), spec, scale, seed=seed)
-            result.improvement_pct[dev][name] = improvement_pct(variant, base)
+    for index, (dev, name) in enumerate(cells):
+        base, variant = payloads[2 * index : 2 * index + 2]
+        result.improvement_pct.setdefault(dev, {})[name] = improvement_pct(
+            variant, base
+        )
     return result
 
 

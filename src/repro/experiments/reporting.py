@@ -23,16 +23,20 @@ from ..sim.metrics import SimMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.interval import IntervalCollector
-    from .runner import RunResult
+    from ..sim.metrics import ReadMixCounters
+    from .runner import RunResult, RunResultPayload
 
 __all__ = [
     "ascii_table",
     "format_pct",
     "jsonable",
     "config_hash",
+    "read_mix_dict",
+    "counters_dict",
     "metrics_summary",
     "build_run_manifest",
     "manifest_for_run",
+    "manifest_for_payload",
     "write_run_manifest",
 ]
 
@@ -92,9 +96,37 @@ def config_hash(config: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+def read_mix_dict(mix: "ReadMixCounters") -> dict:
+    """One run's :class:`ReadMixCounters` as a JSON-ready dict."""
+    return {
+        "total": mix.total,
+        "by_type": {str(bit): count for bit, count in sorted(mix.by_type.items())},
+        "csb_with_invalid_lsb": mix.csb_with_invalid_lsb,
+        "msb_with_invalid_lower": mix.msb_with_invalid_lower,
+        "ida_fast_reads": mix.ida_fast_reads,
+    }
+
+
+def counters_dict(metrics: SimMetrics) -> dict:
+    """The cumulative event counters of one run, JSON-ready."""
+    return {
+        "gc_invocations": metrics.gc_invocations,
+        "gc_page_moves": metrics.gc_page_moves,
+        "block_erases": metrics.block_erases,
+        "refresh_invocations": metrics.refresh_invocations,
+        "refresh_page_moves": metrics.refresh_page_moves,
+        "refresh_adjusted_wordlines": metrics.refresh_adjusted_wordlines,
+        "refresh_reprogrammed_pages": metrics.refresh_reprogrammed_pages,
+        "refresh_corrupted_pages": metrics.refresh_corrupted_pages,
+        "refresh_extra_reads": metrics.refresh_extra_reads,
+        "read_retries": metrics.read_retries,
+        "unmapped_reads": metrics.unmapped_reads,
+        "phys_ops_dispatched": metrics.phys_ops_dispatched,
+    }
+
+
 def metrics_summary(metrics: SimMetrics) -> dict:
     """One run's :class:`SimMetrics` as a JSON-ready summary."""
-    mix = metrics.read_mix
     return {
         "read_response": metrics.read_response.summary(),
         "write_response": metrics.write_response.summary(),
@@ -103,27 +135,8 @@ def metrics_summary(metrics: SimMetrics) -> dict:
         "elapsed_us": metrics.elapsed_us,
         "bytes_read": metrics.bytes_read,
         "bytes_written": metrics.bytes_written,
-        "read_mix": {
-            "total": mix.total,
-            "by_type": {str(bit): count for bit, count in sorted(mix.by_type.items())},
-            "csb_with_invalid_lsb": mix.csb_with_invalid_lsb,
-            "msb_with_invalid_lower": mix.msb_with_invalid_lower,
-            "ida_fast_reads": mix.ida_fast_reads,
-        },
-        "counters": {
-            "gc_invocations": metrics.gc_invocations,
-            "gc_page_moves": metrics.gc_page_moves,
-            "block_erases": metrics.block_erases,
-            "refresh_invocations": metrics.refresh_invocations,
-            "refresh_page_moves": metrics.refresh_page_moves,
-            "refresh_adjusted_wordlines": metrics.refresh_adjusted_wordlines,
-            "refresh_reprogrammed_pages": metrics.refresh_reprogrammed_pages,
-            "refresh_corrupted_pages": metrics.refresh_corrupted_pages,
-            "refresh_extra_reads": metrics.refresh_extra_reads,
-            "read_retries": metrics.read_retries,
-            "unmapped_reads": metrics.unmapped_reads,
-            "phys_ops_dispatched": metrics.phys_ops_dispatched,
-        },
+        "read_mix": read_mix_dict(metrics.read_mix),
+        "counters": counters_dict(metrics),
     }
 
 
@@ -143,12 +156,33 @@ def build_run_manifest(
     seed, trace file, ...); it is hashed verbatim.  Use
     :func:`manifest_for_run` when you have a full :class:`RunResult`.
     """
+    return _assemble_manifest(
+        config,
+        metrics_summary(metrics),
+        utilisation=utilisation,
+        queue_wait=queue_wait,
+        collector=collector,
+        trace_path=trace_path,
+        extra=extra,
+    )
+
+
+def _assemble_manifest(
+    config: dict,
+    summary: dict,
+    *,
+    utilisation: dict | None = None,
+    queue_wait: dict | None = None,
+    collector: "IntervalCollector | None" = None,
+    trace_path: str | Path | None = None,
+    extra: dict | None = None,
+) -> dict:
     manifest: dict = {
         "kind": "run_manifest",
         "schema": SCHEMA_VERSION,
         "config": jsonable(config),
         "config_hash": config_hash(config),
-        "metrics": metrics_summary(metrics),
+        "metrics": summary,
     }
     if utilisation is not None:
         manifest["utilisation"] = jsonable(utilisation)
@@ -166,11 +200,30 @@ def build_run_manifest(
     return manifest
 
 
+def _run_extras(refresh: dict, in_use_blocks: int, ida_blocks: int,
+                jobs: int | None) -> dict:
+    extra = {
+        "refresh": {
+            "blocks_refreshed": refresh["blocks_refreshed"],
+            "extra_reads": refresh["extra_reads"],
+            "extra_writes": refresh["extra_writes"],
+        },
+        "blocks": {"in_use": in_use_blocks, "ida": ida_blocks},
+    }
+    if jobs is not None:
+        # Recorded outside ``config`` on purpose: the executor's fan-out
+        # width must not perturb the config hash (results are required
+        # to be identical at any job count).
+        extra["execution"] = {"jobs": jobs}
+    return extra
+
+
 def manifest_for_run(
     result: "RunResult",
     *,
     collector: "IntervalCollector | None" = None,
     trace_path: str | Path | None = None,
+    jobs: int | None = None,
 ) -> dict:
     """Manifest for one :class:`~repro.experiments.runner.RunResult`."""
     config = {
@@ -179,6 +232,11 @@ def manifest_for_run(
         "scale": jsonable(result.scale) if result.scale is not None else None,
         "seed": result.seed,
     }
+    refresh = {
+        "blocks_refreshed": len(result.refresh_reports),
+        "extra_reads": sum(r.extra_reads for r in result.refresh_reports),
+        "extra_writes": sum(r.extra_writes for r in result.refresh_reports),
+    }
     return build_run_manifest(
         config,
         result.metrics,
@@ -186,17 +244,42 @@ def manifest_for_run(
         queue_wait=result.queue_wait or None,
         collector=collector,
         trace_path=trace_path,
-        extra={
-            "refresh": {
-                "blocks_refreshed": len(result.refresh_reports),
-                "extra_reads": sum(r.extra_reads for r in result.refresh_reports),
-                "extra_writes": sum(r.extra_writes for r in result.refresh_reports),
-            },
-            "blocks": {
-                "in_use": result.in_use_blocks,
-                "ida": result.ida_blocks,
-            },
-        },
+        extra=_run_extras(
+            refresh, result.in_use_blocks, result.ida_blocks, jobs
+        ),
+    )
+
+
+def manifest_for_payload(
+    payload: "RunResultPayload",
+    *,
+    collector: "IntervalCollector | None" = None,
+    trace_path: str | Path | None = None,
+    jobs: int | None = None,
+) -> dict:
+    """Manifest for one pool-transported run payload.
+
+    Produces the same manifest :func:`manifest_for_run` would for the
+    originating :class:`~repro.experiments.runner.RunResult` (payloads
+    carry exactly the summary the manifest records), so sequential and
+    parallel sweeps emit interchangeable artifacts.
+    """
+    config = {
+        "system": jsonable(payload.system),
+        "workload": jsonable(payload.workload),
+        "scale": jsonable(payload.scale) if payload.scale is not None else None,
+        "seed": payload.seed,
+    }
+    return _assemble_manifest(
+        config,
+        payload.metrics_summary(),
+        utilisation=payload.utilisation or None,
+        queue_wait=payload.queue_wait or None,
+        collector=collector,
+        trace_path=trace_path,
+        extra=_run_extras(
+            payload.refresh, payload.in_use_blocks, payload.ida_blocks, jobs
+        ),
     )
 
 

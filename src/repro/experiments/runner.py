@@ -17,9 +17,10 @@ from dataclasses import dataclass, field
 
 from ..ftl.gc import GcPolicy
 from ..ftl.refresh import RefreshPolicy, RefreshReport
+from ..obs.histogram import Histogram
 from ..obs.interval import IntervalCollector
 from ..obs.tracer import Tracer
-from ..sim.metrics import SimMetrics
+from ..sim.metrics import ReadMixCounters, SimMetrics
 from ..sim.scheduler import HostRequest
 from ..sim.ssd import SsdSimulator
 from ..workloads.synthetic import (
@@ -31,7 +32,14 @@ from ..workloads.synthetic import (
 from .config import DeviceConfig, RunScale, device
 from .systems import SystemSpec
 
-__all__ = ["RunResult", "run_workload", "normalized_read_response"]
+__all__ = [
+    "RunResult",
+    "RunResultPayload",
+    "CapacityCensus",
+    "run_workload",
+    "run_capacity_phase_pair",
+    "normalized_read_response",
+]
 
 
 @dataclass
@@ -67,6 +75,118 @@ class RunResult:
     @property
     def throughput_mb_s(self) -> float:
         return self.metrics.throughput_mb_s()
+
+    def to_payload(self) -> "RunResultPayload":
+        return RunResultPayload.from_result(self)
+
+
+@dataclass
+class RunResultPayload:
+    """Compact, cheaply-picklable form of a :class:`RunResult`.
+
+    This is what crosses the process boundary in a parallel sweep: the
+    raw ``SimMetrics`` sample lists and per-block ``RefreshReport``
+    objects are collapsed to summary dicts, fixed-bucket histograms and
+    refresh aggregates — a few KB regardless of run size — while keeping
+    everything the artifact post-processing (normalisation, Table IV
+    averages, manifests) consumes.  ``jobs=1`` sweeps return the same
+    type, so a sweep's output is identical at any job count.
+    """
+
+    system: SystemSpec
+    workload: WorkloadSpec
+    scale: RunScale | None
+    seed: int
+    read_response: dict
+    write_response: dict
+    read_hist: Histogram
+    write_hist: Histogram
+    throughput_mb_s: float
+    read_throughput_mb_s: float
+    elapsed_us: float
+    bytes_read: int
+    bytes_written: int
+    read_mix: ReadMixCounters
+    counters: dict
+    refresh: dict
+    in_use_blocks: int
+    ida_blocks: int
+    utilisation: dict = field(default_factory=dict)
+    queue_wait: dict = field(default_factory=dict)
+
+    @property
+    def mean_read_response_us(self) -> float:
+        return self.read_response["mean_us"]
+
+    def metrics_summary(self) -> dict:
+        """The same dict :func:`reporting.metrics_summary` builds."""
+        from .reporting import read_mix_dict
+
+        return {
+            "read_response": dict(self.read_response),
+            "write_response": dict(self.write_response),
+            "throughput_mb_s": self.throughput_mb_s,
+            "read_throughput_mb_s": self.read_throughput_mb_s,
+            "elapsed_us": self.elapsed_us,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "read_mix": read_mix_dict(self.read_mix),
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "RunResultPayload":
+        from .reporting import counters_dict
+
+        metrics = result.metrics
+        reports = result.refresh_reports
+        ida_reports = [r for r in reports if r.n_adjusted_wordlines > 0]
+        refresh = {
+            "blocks_refreshed": len(reports),
+            "extra_reads": sum(r.extra_reads for r in reports),
+            "extra_writes": sum(r.extra_writes for r in reports),
+            "ida_refreshes": len(ida_reports),
+            "ida_valid_pages": sum(r.n_valid for r in ida_reports),
+            "ida_extra_reads": sum(r.extra_reads for r in ida_reports),
+            "ida_extra_writes": sum(r.extra_writes for r in ida_reports),
+        }
+        return cls(
+            system=result.system,
+            workload=result.workload,
+            scale=result.scale,
+            seed=result.seed,
+            read_response=metrics.read_response.summary(),
+            write_response=metrics.write_response.summary(),
+            read_hist=metrics.read_response.histogram(),
+            write_hist=metrics.write_response.histogram(),
+            throughput_mb_s=metrics.throughput_mb_s(),
+            read_throughput_mb_s=metrics.read_throughput_mb_s(),
+            elapsed_us=metrics.elapsed_us,
+            bytes_read=metrics.bytes_read,
+            bytes_written=metrics.bytes_written,
+            read_mix=metrics.read_mix,
+            counters=counters_dict(metrics),
+            refresh=refresh,
+            in_use_blocks=result.in_use_blocks,
+            ida_blocks=result.ida_blocks,
+            utilisation=result.utilisation,
+            queue_wait=result.queue_wait,
+        )
+
+
+@dataclass(frozen=True)
+class CapacityCensus:
+    """Block census and GC cost after a read-then-write phase pair.
+
+    The compact result of :func:`run_capacity_phase_pair` — what the
+    Sec. III-C capacity analysis transports out of a sweep worker.
+    """
+
+    in_use_blocks: int
+    ida_blocks: int
+    total_blocks: int
+    gc_invocations: int
+    block_erases: int
 
 
 def _build_device(system: SystemSpec, scale: RunScale) -> DeviceConfig:
@@ -237,8 +357,45 @@ def run_workload_closed_loop(
     )
 
 
+def run_capacity_phase_pair(
+    system: SystemSpec,
+    spec: WorkloadSpec,
+    scale: RunScale | None = None,
+    seed: int = 11,
+) -> CapacityCensus:
+    """Read-intensive phase followed by a write-intensive phase.
+
+    The Sec. III-C capacity experiment: replay the timed trace, then
+    rewrite a footprint-sized sample of LPNs (untimed logical churn is
+    enough — the claim is about GC counts) and report the block census
+    and cumulative GC cost.
+    """
+    scale = scale or RunScale()
+    spec = spec.scaled(scale.num_requests, scale.footprint_pages)
+    generated = generate_workload(spec)
+    sim = build_simulator(system, scale, spec.duration_us, seed=seed)
+    page_size = sim.geometry.page_size_bytes
+    period = sim.ftl.refresh_policy.period_us
+    sim.preload(generated.fill_lpns, -1.4 * period, -0.4 * period)
+    sim.age(generated.aging_lpns, -0.35 * period)
+    sim.run_requests(_to_host_requests(generated, page_size))
+
+    followup = sample_update_lpns(spec, scale.footprint_pages, seed_offset=9)
+    now = sim.engine.now
+    for lpn in followup:
+        sim.ftl.write_untimed(lpn, now)
+
+    return CapacityCensus(
+        in_use_blocks=sim.ftl.table.in_use_blocks(),
+        ida_blocks=sim.ftl.table.ida_blocks(),
+        total_blocks=sim.geometry.total_blocks,
+        gc_invocations=sim.ftl.counters.gc_invocations,
+        block_erases=sim.ftl.counters.block_erases,
+    )
+
+
 def normalized_read_response(
-    variant: RunResult, base: RunResult
+    variant: RunResult | RunResultPayload, base: RunResult | RunResultPayload
 ) -> float:
     """Variant mean read response, normalised to the baseline's (Fig. 8)."""
     base_mean = base.mean_read_response_us
@@ -247,6 +404,8 @@ def normalized_read_response(
     return variant.mean_read_response_us / base_mean
 
 
-def improvement_pct(variant: RunResult, base: RunResult) -> float:
+def improvement_pct(
+    variant: RunResult | RunResultPayload, base: RunResult | RunResultPayload
+) -> float:
     """Read response-time improvement of ``variant`` over ``base``, in %."""
     return (1.0 - normalized_read_response(variant, base)) * 100.0

@@ -12,8 +12,8 @@ from dataclasses import dataclass, field
 from ..workloads.msr import TABLE3_REFERENCE, TABLE3_WORKLOADS
 from ..workloads.synthetic import generate_workload
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import run_workload
 from .systems import baseline
 
 __all__ = ["Table3Row", "Table3Result", "run_table3", "format_table3"]
@@ -40,25 +40,30 @@ def run_table3(
     scale: RunScale | None = None,
     workload_names: list[str] | None = None,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table3Result:
     """Measure the Table III columns for the synthetic clones."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
+    units = [RunUnit(baseline(), name, scale, seed=seed) for name in names]
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
     result = Table3Result()
-    for name in names:
+    for name, payload in zip(names, payloads):
+        # Trace shape statistics come from the (deterministic) generator,
+        # not the simulation, so they are recomputed here in the parent.
         spec = TABLE3_WORKLOADS[name].scaled(
             scale.num_requests, scale.footprint_pages
         )
         trace = generate_workload(spec).trace
-        run = run_workload(baseline(), TABLE3_WORKLOADS[name], scale, seed=seed)
-        mix = run.metrics.read_mix
         result.rows.append(
             Table3Row(
                 workload=name,
                 read_ratio_pct=trace.read_ratio() * 100,
                 read_size_kb=trace.mean_read_size_kb(),
                 read_data_pct=trace.read_data_ratio() * 100,
-                msb_invalid_pct=mix.msb_invalid_fraction(2) * 100,
+                msb_invalid_pct=payload.read_mix.msb_invalid_fraction(2) * 100,
                 paper=TABLE3_REFERENCE[name],
             )
         )

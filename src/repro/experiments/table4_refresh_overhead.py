@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import run_workload
 from .systems import ida
 
 __all__ = ["Table4Row", "Table4Result", "run_table4", "format_table4"]
@@ -42,19 +42,23 @@ def run_table4(
     workload_names: list[str] | None = None,
     error_rate: float = 0.2,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table4Result:
     """Measure per-block refresh overheads under IDA-E{error_rate}."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
+    units = [RunUnit(ida(error_rate), name, scale, seed=seed) for name in names]
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
     result = Table4Result()
-    for name in names:
-        run = run_workload(ida(error_rate), TABLE3_WORKLOADS[name], scale, seed=seed)
+    for name, payload in zip(names, payloads):
         # Only refreshes that actually applied IDA carry adjustment
         # overhead; full-move reclaims of old IDA blocks are the baseline
         # flow and add nothing (the paper's Table IV is per modified
-        # refresh).
-        reports = [r for r in run.refresh_reports if r.n_adjusted_wordlines > 0]
-        count = len(reports)
+        # refresh).  The payload pre-aggregates exactly that subset.
+        refresh = payload.refresh
+        count = refresh["ida_refreshes"]
         if count == 0:
             result.rows.append(Table4Row(name, 192, 0.0, 0.0, 0.0, 0))
             continue
@@ -62,9 +66,9 @@ def run_table4(
             Table4Row(
                 workload=name,
                 pages_per_block=192,
-                avg_valid_pages=sum(r.n_valid for r in reports) / count,
-                avg_extra_reads=sum(r.extra_reads for r in reports) / count,
-                avg_extra_writes=sum(r.extra_writes for r in reports) / count,
+                avg_valid_pages=refresh["ida_valid_pages"] / count,
+                avg_extra_reads=refresh["ida_extra_reads"] / count,
+                avg_extra_writes=refresh["ida_extra_writes"] / count,
                 refreshes=count,
             )
         )

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
+from .parallel import ProgressFn, RunUnit, execute_units
 from .reporting import ascii_table
-from .runner import improvement_pct, run_workload
+from .runner import improvement_pct
 from .systems import baseline, ida
 
 __all__ = ["Table5Result", "run_table5", "format_table5"]
@@ -38,15 +39,21 @@ def run_table5(
     device: str = "mlc",
     error_rate: float = 0.2,
     seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table5Result:
     """Measure IDA-E{error_rate} improvements on the given device family."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
-    result = Table5Result(device=device)
+    units = []
     for name in names:
-        spec = TABLE3_WORKLOADS[name]
-        base = run_workload(baseline(device), spec, scale, seed=seed)
-        variant = run_workload(ida(error_rate, device), spec, scale, seed=seed)
+        units.append(RunUnit(baseline(device), name, scale, seed=seed))
+        units.append(RunUnit(ida(error_rate, device), name, scale, seed=seed))
+    payloads = execute_units(units, jobs=jobs, progress=progress)
+
+    result = Table5Result(device=device)
+    for index, name in enumerate(names):
+        base, variant = payloads[2 * index : 2 * index + 2]
         result.improvement_pct[name] = improvement_pct(variant, base)
     return result
 

@@ -93,6 +93,18 @@ class Histogram:
                 return min(self.bounds[index], self.max)
         return self.max  # pragma: no cover - unreachable
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
     def merge(self, other: "Histogram") -> None:
         """Fold ``other`` (same bounds) into this histogram."""
         if other.bounds != self.bounds:

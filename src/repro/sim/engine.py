@@ -85,16 +85,30 @@ class SimEngine:
         With ``until`` set, events at times strictly greater are left in
         the queue and ``now`` advances to ``until``.
         """
-        while self._queue:
-            time, _, callback = self._queue[0]
-            if until is not None and time > until:
+        # Hot loop: the queue list and heappop are bound to locals, and
+        # the unbounded drain pops directly instead of peek-then-pop
+        # (callbacks mutate the queue in place via ``at``, never rebind
+        # it, so the local alias stays valid).
+        queue = self._queue
+        heappop = heapq.heappop
+        if until is None:
+            while queue:
+                time, _, callback = heappop(queue)
+                self._prev_now = self.now
+                self.now = time
+                self._processed += 1
+                callback()
+            return
+        while queue:
+            time, _, callback = queue[0]
+            if time > until:
                 break
-            heapq.heappop(self._queue)
+            heappop(queue)
             self._prev_now = self.now
             self.now = time
             self._processed += 1
             callback()
-        if until is not None and until > self.now:
+        if until > self.now:
             self.now = until
 
     def step(self) -> bool:

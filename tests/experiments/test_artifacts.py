@@ -58,6 +58,11 @@ class TestFig8:
             (1 - result.average("ida-e20")) * 100
         )
 
+    def test_average_of_missing_system_is_a_clear_error(self, quick_scale):
+        result = run_fig8(quick_scale, WORKLOADS, error_rates=(0.2,))
+        with pytest.raises(KeyError, match="ida-e80.*usr_1"):
+            result.average("ida-e80")
+
 
 class TestFig9:
     def test_runs_and_formats(self, quick_scale):

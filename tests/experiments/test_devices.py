@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.config import RunScale, device
+from repro.experiments.config import RunScale
 from repro.experiments.runner import build_simulator
 from repro.experiments.systems import baseline
 from repro.sim.scheduler import HostRequest
