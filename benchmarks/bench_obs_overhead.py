@@ -2,41 +2,82 @@
 """Microbenchmark: cost of the observability hooks on uninstrumented runs.
 
 The tracer's null fast path must keep untraced simulations within noise
-(the acceptance bar is <= 3% overhead).  This script times the same
-(system, workload, seed) run three ways:
+(the acceptance bar is <= 3% overhead), and the profiler's stage-boundary
+hooks must be equally free when no profiler is attached (<= 5%).  This
+script times the same (system, workload, seed) run six ways, in two
+sections:
 
-* ``untraced``  — ``tracer=None`` (the default every experiment uses);
-* ``null``      — an explicit :class:`NullTracer` (same fast path, proves
-  the guard itself is free);
-* ``traced``    — a real tracer into an in-memory sink, for context.
+tracer section
+  * ``untraced``  — ``tracer=None`` (the default every experiment uses);
+  * ``null``      — an explicit :class:`NullTracer` (same fast path,
+    proves the guard itself is free);
+  * ``traced``    — a real tracer into an in-memory sink, for context.
+
+profiler section
+  * ``disabled``  — ``profiler=None`` (every pre-existing call site);
+  * ``aggregate`` — ``SimProfiler(keep_events=False)``, the worker-pool
+    configuration (attribution only, no trace slices);
+  * ``full``      — ``SimProfiler()`` retaining Chrome-trace slices.
 
 Run:  python benchmarks/bench_obs_overhead.py [--scale quick] [--reps 5]
                                               [--check] [--threshold 3.0]
+                                              [--profiler-threshold 5.0]
+                                              [--record PATH]
+                                              [--baseline PATH]
 
 With ``--check`` the process exits non-zero when the null-tracer median
-exceeds the untraced median by more than ``--threshold`` percent.
+exceeds the untraced median by more than ``--threshold`` percent, or the
+profiler-disabled median exceeds it by more than ``--profiler-threshold``
+percent.  ``--record`` / ``--baseline`` mirror ``bench_pipeline.py``:
+record medians on a reference tree (committed as
+``benchmarks/BENCH_obs.json``), then ``--check --baseline`` on a changed
+tree fails if any variant slowed beyond the profiler threshold.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import RunScale, ida, run_workload
-from repro.obs import MemorySink, NullTracer, Tracer
+from repro.obs import MemorySink, NullTracer, SimProfiler, Tracer
 from repro.workloads import workload
 
 
-def time_run(scale: RunScale, tracer, reps: int) -> list[float]:
+#: variant name -> (tracer factory, profiler factory); rebuilt per rep.
+VARIANTS = {
+    "untraced": (None, None),
+    "null_tracer": (NullTracer, None),
+    "full_tracer": (lambda: Tracer(MemorySink()), None),
+    "profiler_disabled": (None, None),
+    "profiler_aggregate": (None, lambda: SimProfiler(keep_events=False)),
+    "profiler_full": (None, lambda: SimProfiler()),
+}
+
+
+def time_variants(scale: RunScale, reps: int) -> dict[str, float]:
+    """Median wall seconds per variant, interleaved round-robin.
+
+    Variants are interleaved (one rep of each, then the next round)
+    rather than timed in sequential blocks, so slow machine drift —
+    thermal throttling, a noisy CI neighbour — lands on every variant
+    equally instead of inflating whichever happened to run last.
+    """
     spec = workload("usr_1")
-    times = []
+    times: dict[str, list[float]] = {name: [] for name in VARIANTS}
     for _ in range(reps):
-        started = time.perf_counter()
-        run_workload(ida(0.2), spec, scale, seed=11, tracer=tracer)
-        times.append(time.perf_counter() - started)
-    return times
+        for name, (tracer_factory, profiler_factory) in VARIANTS.items():
+            tracer = tracer_factory() if tracer_factory else None
+            profiler = profiler_factory() if profiler_factory else None
+            started = time.perf_counter()
+            run_workload(ida(0.2), spec, scale, seed=11, tracer=tracer,
+                         profiler=profiler)
+            times[name].append(time.perf_counter() - started)
+    return {name: statistics.median(seq) for name, seq in times.items()}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,30 +85,78 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=["tiny", "quick", "bench"], default="quick")
     parser.add_argument("--reps", type=int, default=5)
     parser.add_argument("--check", action="store_true",
-                        help="fail if null-tracer overhead exceeds the threshold")
+                        help="fail if passive-hook overhead exceeds the thresholds")
     parser.add_argument("--threshold", type=float, default=3.0,
-                        help="max tolerated overhead in percent (default: 3)")
+                        help="max tolerated null-tracer overhead in percent (default: 3)")
+    parser.add_argument("--profiler-threshold", type=float, default=5.0,
+                        help="max tolerated profiler-disabled overhead and "
+                             "baseline slowdown in percent (default: 5)")
+    parser.add_argument("--record", metavar="PATH", default=None,
+                        help="write the measured medians to PATH (JSON)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline JSON from --record on the reference tree")
     args = parser.parse_args(argv)
 
     scale = getattr(RunScale, args.scale)()
     # Warm-up: first run pays numpy / allocator warm caches.
-    time_run(scale, None, 1)
+    time_variants(scale, 1)
 
-    untraced = statistics.median(time_run(scale, None, args.reps))
-    null = statistics.median(time_run(scale, NullTracer(), args.reps))
-    traced = statistics.median(time_run(scale, Tracer(MemorySink()), args.reps))
+    medians = time_variants(scale, args.reps)
+    untraced = medians["untraced"]
 
-    overhead_null = (null / untraced - 1.0) * 100.0
-    overhead_traced = (traced / untraced - 1.0) * 100.0
+    def pct(value: float) -> float:
+        return (value / untraced - 1.0) * 100.0
+
+    report = {"scale": args.scale, "reps": args.reps, "variants": medians}
+    labels = {
+        "untraced": "untraced",
+        "null_tracer": "null tracer",
+        "full_tracer": "full tracer",
+        "profiler_disabled": "no profiler",
+        "profiler_aggregate": "prof (aggr)",
+        "profiler_full": "prof (full)",
+    }
     print(f"scale={args.scale} reps={args.reps} (median wall seconds)")
     print(f"  untraced    : {untraced:.3f} s")
-    print(f"  null tracer : {null:.3f} s  ({overhead_null:+.1f}%)")
-    print(f"  full tracer : {traced:.3f} s  ({overhead_traced:+.1f}%)")
+    for name, median in medians.items():
+        if name == "untraced":
+            continue
+        print(f"  {labels[name]} : {median:.3f} s  ({pct(median):+.1f}%)")
 
-    if args.check and overhead_null > args.threshold:
-        print(f"FAIL: null-tracer overhead {overhead_null:.1f}% "
-              f"> {args.threshold:.1f}%")
-        return 1
+    if args.record:
+        path = Path(args.record)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"recorded -> {path}")
+
+    failed = False
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        base_variants = base.get("variants", {})
+        for name, current in report["variants"].items():
+            reference = base_variants.get(name)
+            if reference is None:
+                print(f"  {name}: no baseline entry, skipped")
+                continue
+            delta = (current / reference - 1.0) * 100.0
+            verdict = "OK" if delta <= args.profiler_threshold else "FAIL"
+            print(f"  {name:<18}: {delta:+.1f}% vs baseline "
+                  f"({reference:.3f} s)  [{verdict}]")
+            failed = failed or delta > args.profiler_threshold
+
+    if args.check:
+        null_overhead = pct(medians["null_tracer"])
+        disabled_overhead = pct(medians["profiler_disabled"])
+        if null_overhead > args.threshold:
+            print(f"FAIL: null-tracer overhead {null_overhead:.1f}% "
+                  f"> {args.threshold:.1f}%")
+            failed = True
+        if disabled_overhead > args.profiler_threshold:
+            print(f"FAIL: profiler-disabled overhead {disabled_overhead:.1f}% "
+                  f"> {args.profiler_threshold:.1f}%")
+            failed = True
+        if failed:
+            return 1
     return 0
 
 

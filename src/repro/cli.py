@@ -7,7 +7,9 @@ Usage::
     ida-repro table4 --scale bench
     ida-repro all --scale quick
     ida-repro run --scale tiny --policy fcfs --trace /tmp/t.jsonl --report /tmp/run.json
+    ida-repro profile --system ida-e20 --workload usr_1 --out /tmp/trace.json
     ida-repro inspect /tmp/t.jsonl --top 5
+    ida-repro inspect /tmp/t.jsonl --last 20
 
 (The ``repro`` console script is an alias of ``ida-repro``.)
 """
@@ -22,9 +24,11 @@ from typing import Callable
 from .obs import (
     IntervalCollector,
     JsonlSink,
+    TraceLoadError,
     Tracer,
+    format_last_spans,
     format_trace_summary,
-    load_trace,
+    load_trace_safe,
 )
 
 from .experiments import (
@@ -37,6 +41,7 @@ from .experiments import (
     format_fig9,
     format_fig10,
     format_fig11,
+    format_fig_breakdown,
     format_qlc,
     format_table3,
     format_table4,
@@ -48,6 +53,7 @@ from .experiments import (
     run_fig9,
     run_fig10,
     run_fig11,
+    run_fig_breakdown,
     run_qlc_extension,
     run_refresh_frequency_ablation,
     run_table3,
@@ -64,6 +70,7 @@ ARTIFACTS: dict[str, tuple[Callable, Callable]] = {
     "fig9": (run_fig9, format_fig9),
     "fig10": (run_fig10, format_fig10),
     "fig11": (run_fig11, format_fig11),
+    "breakdown": (run_fig_breakdown, format_fig_breakdown),
     "table3": (run_table3, format_table3),
     "table4": (run_table4, format_table4),
     "table5": (run_table5, format_table5),
@@ -217,13 +224,17 @@ def _cmd_run(argv: list[str]) -> int:
     if tracer is not None:
         tracer.close()
 
+    def _us(value: float | None) -> str:
+        # percentiles are None for zero-sample populations
+        return "n/a" if value is None else f"{value:.1f} us"
+
     read = payload.read_response
     write = payload.write_response
     print(f"{system.name} on {args.workload} @ {args.scale} "
           f"({elapsed:.1f}s wall, seed {args.seed}, policy {system.policy}, "
           f"jobs {args.jobs})")
     print(f"  reads : {read['count']}  mean {read['mean_us']:.1f} us  "
-          f"p95 {read['p95_us']:.1f} us  p99 {read['p99_us']:.1f} us")
+          f"p95 {_us(read['p95_us'])}  p99 {_us(read['p99_us'])}")
     print(f"  writes: {write['count']}  mean {write['mean_us']:.1f} us")
     print(f"  throughput: {payload.throughput_mb_s:.2f} MB/s  "
           f"utilisation: die {payload.utilisation.get('die', 0.0):.1%} / "
@@ -243,6 +254,105 @@ def _cmd_run(argv: list[str]) -> int:
     return 0
 
 
+def _build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ida-repro profile",
+        description="Run one simulation with the sim-time profiler and "
+                    "export a Perfetto-loadable Chrome trace.",
+    )
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    parser.add_argument("--workload", default="usr_1",
+                        help="workload name (Table III; default: usr_1)")
+    parser.add_argument("--system", default="ida-e20",
+                        help="baseline, ida, or ida-eNN (default: ida-e20)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--policy", default="read-first",
+                        help="scheduling policy: read-first (paper default), "
+                             "fcfs, or throttled")
+    parser.add_argument("--interval-us", type=float, default=None, metavar="N",
+                        help="sample utilization/queue-depth timelines every "
+                             "N simulated us")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the Chrome trace-event JSON to PATH "
+                             "(load it at https://ui.perfetto.dev)")
+    parser.add_argument("--aggregate", metavar="PATH", default=None,
+                        help="write the compact aggregate profile JSON to PATH")
+    parser.add_argument("--max-events", type=int, default=200_000,
+                        help="cap on retained trace slices (default: 200000)")
+    return parser
+
+
+def _cmd_profile(argv: list[str]) -> int:
+    import json
+
+    from .experiments.runner import run_workload
+    from .obs.profiler import SimProfiler, validate_chrome_trace
+    from .workloads import workload
+
+    args = _build_profile_parser().parse_args(argv)
+    system = _parse_system(args.system)
+    try:
+        system = system.with_policy(args.policy)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        spec = workload(args.workload)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    if args.interval_us is not None and args.interval_us <= 0:
+        raise SystemExit("--interval-us must be positive")
+    if args.max_events < 1:
+        raise SystemExit("--max-events must be >= 1")
+    scale = _SCALES[args.scale]()
+
+    profiler = SimProfiler(keep_events=args.out is not None,
+                           max_events=args.max_events)
+    collector = (
+        IntervalCollector(args.interval_us) if args.interval_us else None
+    )
+    started = time.time()
+    result = run_workload(
+        system, spec, scale, seed=args.seed, collector=collector,
+        profiler=profiler,
+    )
+    elapsed = time.time() - started
+
+    aggregate = result.profile
+    print(f"{system.name} on {args.workload} @ {args.scale} "
+          f"({elapsed:.1f}s wall, seed {args.seed}, policy {system.policy})")
+    for kind in ("read", "write"):
+        attribution = aggregate["requests"].get(kind)
+        if attribution is None:
+            continue
+        print(f"  {kind:5s}: {attribution['count']} requests  "
+              f"mean {attribution['mean_response_us']:.1f} us = "
+              f"wait {attribution['mean_queue_wait_us']:.1f}"
+              + "".join(
+                  f" + {stage} {us:.1f}"
+                  for stage, us in attribution["mean_service_us"].items()
+              )
+              + f" + host {attribution['mean_host_overhead_us']:.1f}")
+    print(f"  attribution residual: {aggregate['max_residual_us']:.3g} us")
+
+    if args.out:
+        trace = profiler.to_chrome_trace()
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"  trace problem: {problem}", file=sys.stderr)
+            raise SystemExit("refusing to write an invalid Chrome trace")
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+        print(f"  trace : {args.out} ({len(trace['traceEvents'])} events, "
+              f"{aggregate['events_dropped']} dropped; "
+              "open in https://ui.perfetto.dev)")
+    if args.aggregate:
+        with open(args.aggregate, "w", encoding="utf-8") as handle:
+            json.dump(aggregate, handle, indent=2, sort_keys=True)
+        print(f"  aggregate: {args.aggregate}")
+    return 0
+
+
 def _cmd_inspect(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="ida-repro inspect",
@@ -251,17 +361,25 @@ def _cmd_inspect(argv: list[str]) -> int:
     parser.add_argument("trace", help="path to a JSONL trace file")
     parser.add_argument("--top", type=int, default=10,
                         help="how many slowest reads to show (default: 10)")
+    parser.add_argument("--last", type=int, default=None, metavar="N",
+                        help="show only the final N request spans instead "
+                             "of the summary")
     args = parser.parse_args(argv)
-    import json
+    if args.last is not None and args.last < 1:
+        raise SystemExit("--last must be >= 1")
 
     try:
-        events = load_trace(args.trace)
-    except FileNotFoundError:
-        raise SystemExit(f"trace file not found: {args.trace}") from None
-    except json.JSONDecodeError as exc:
-        raise SystemExit(
-            f"{args.trace} is not a JSONL trace: {exc}"
-        ) from None
+        events, warnings = load_trace_safe(args.trace)
+    except TraceLoadError as exc:
+        raise SystemExit(str(exc)) from None
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if not events:
+        print(f"{args.trace} contains no events")
+        return 0
+    if args.last is not None:
+        print(format_last_spans(events, args.last))
+        return 0
     print(format_trace_summary(events, top=args.top))
     return 0
 
@@ -271,6 +389,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "run":
         return _cmd_run(argv[1:])
+    if argv and argv[0] == "profile":
+        return _cmd_profile(argv[1:])
     if argv and argv[0] == "inspect":
         return _cmd_inspect(argv[1:])
     args = _build_parser().parse_args(argv)

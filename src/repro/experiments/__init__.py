@@ -18,6 +18,13 @@ from .fig8_response_time import Fig8Result, format_fig8, run_fig8
 from .fig9_dtr_sensitivity import Fig9Result, format_fig9, run_fig9
 from .fig10_throughput import Fig10Result, format_fig10, run_fig10
 from .fig11_read_retry import Fig11Result, LifetimePhase, format_fig11, run_fig11
+from .fig_breakdown import (
+    BreakdownCell,
+    BreakdownResult,
+    breakdown_to_json,
+    format_fig_breakdown,
+    run_fig_breakdown,
+)
 from .parallel import (
     RunUnit,
     SweepError,
@@ -80,6 +87,11 @@ __all__ = [
     "LifetimePhase",
     "format_fig11",
     "run_fig11",
+    "BreakdownCell",
+    "BreakdownResult",
+    "run_fig_breakdown",
+    "format_fig_breakdown",
+    "breakdown_to_json",
     "QlcResult",
     "format_qlc",
     "run_qlc_extension",

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..obs.interval import IntervalCollector
+from ..obs.profiler import SimProfiler
 from ..obs.tracer import Tracer
 from ..workloads.msr import workload as _catalog_workload
 from ..workloads.synthetic import WorkloadSpec
@@ -77,6 +78,12 @@ class RunUnit:
             depth, Fig. 10) or ``"capacity"`` (read-then-write phase
             pair, Sec. III-C).
         queue_depth: Outstanding requests for ``"closed"`` units.
+        profile: Attach a :class:`~repro.obs.profiler.SimProfiler` to
+            the run; its aggregate rides back on the payload's
+            ``profile`` field.  Unlike tracing, profiling works at any
+            job count — the profiler is built worker-side (aggregates
+            only, no slice events) and only its plain-dict aggregate
+            crosses the process boundary.
     """
 
     system: SystemSpec
@@ -85,6 +92,7 @@ class RunUnit:
     seed: int = 11
     mode: str = "open"
     queue_depth: int = 32
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -130,6 +138,9 @@ def execute_unit(
 ) -> RunResultPayload | CapacityCensus:
     """Run one unit in the current process (worker body and inline path)."""
     spec = unit.resolve_workload()
+    # Worker-side profiler: constructed here so nothing live crosses the
+    # fork; aggregate-only (no slice events) keeps the payload compact.
+    profiler = SimProfiler(keep_events=False) if unit.profile else None
     if unit.mode == "open":
         return run_workload(
             unit.system,
@@ -138,6 +149,7 @@ def execute_unit(
             seed=unit.seed,
             tracer=tracer,
             collector=collector,
+            profiler=profiler,
         ).to_payload()
     if unit.mode == "closed":
         return run_workload_closed_loop(
@@ -148,6 +160,7 @@ def execute_unit(
             seed=unit.seed,
             tracer=tracer,
             collector=collector,
+            profiler=profiler,
         ).to_payload()
     return run_capacity_phase_pair(unit.system, spec, unit.scale, seed=unit.seed)
 

@@ -148,6 +148,7 @@ def build_run_manifest(
     queue_wait: dict | None = None,
     collector: "IntervalCollector | None" = None,
     trace_path: str | Path | None = None,
+    profile: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
     """Assemble a run manifest from its parts.
@@ -163,6 +164,7 @@ def build_run_manifest(
         queue_wait=queue_wait,
         collector=collector,
         trace_path=trace_path,
+        profile=profile,
         extra=extra,
     )
 
@@ -175,6 +177,7 @@ def _assemble_manifest(
     queue_wait: dict | None = None,
     collector: "IntervalCollector | None" = None,
     trace_path: str | Path | None = None,
+    profile: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
     manifest: dict = {
@@ -188,6 +191,10 @@ def _assemble_manifest(
         manifest["utilisation"] = jsonable(utilisation)
     if queue_wait is not None:
         manifest["queue_wait"] = jsonable(queue_wait)
+    if profile is not None:
+        # Only profiled runs carry the key: unprofiled manifests stay
+        # byte-identical to pre-profiler ones.
+        manifest["profile"] = jsonable(profile)
     if collector is not None:
         manifest["time_series"] = {
             "summary": collector.summary(),
@@ -237,13 +244,14 @@ def manifest_for_run(
         "extra_reads": sum(r.extra_reads for r in result.refresh_reports),
         "extra_writes": sum(r.extra_writes for r in result.refresh_reports),
     }
-    return build_run_manifest(
+    return _assemble_manifest(
         config,
-        result.metrics,
+        metrics_summary(result.metrics),
         utilisation=result.utilisation or None,
         queue_wait=result.queue_wait or None,
         collector=collector,
         trace_path=trace_path,
+        profile=result.profile,
         extra=_run_extras(
             refresh, result.in_use_blocks, result.ida_blocks, jobs
         ),
@@ -277,6 +285,7 @@ def manifest_for_payload(
         queue_wait=payload.queue_wait or None,
         collector=collector,
         trace_path=trace_path,
+        profile=payload.profile,
         extra=_run_extras(
             payload.refresh, payload.in_use_blocks, payload.ida_blocks, jobs
         ),

@@ -19,6 +19,7 @@ from ..ftl.gc import GcPolicy
 from ..ftl.refresh import RefreshPolicy, RefreshReport
 from ..obs.histogram import Histogram
 from ..obs.interval import IntervalCollector
+from ..obs.profiler import SimProfiler
 from ..obs.tracer import Tracer
 from ..sim.metrics import ReadMixCounters, SimMetrics
 from ..sim.scheduler import HostRequest
@@ -55,6 +56,10 @@ class RunResult:
         utilisation: Mean die / channel utilisation over the run.
         queue_wait: Per resource class and priority queue-wait totals.
         scale / seed: The run's scale and RNG seed (for the manifest).
+        profile: Aggregated :class:`~repro.obs.profiler.SimProfiler`
+            output (``aggregate()`` dict) when the run was profiled,
+            else ``None`` — absent keys keep unprofiled manifests
+            byte-identical to pre-profiler ones.
     """
 
     system: SystemSpec
@@ -67,6 +72,7 @@ class RunResult:
     queue_wait: dict = field(default_factory=dict)
     scale: RunScale | None = None
     seed: int = 11
+    profile: dict | None = None
 
     @property
     def mean_read_response_us(self) -> float:
@@ -113,6 +119,7 @@ class RunResultPayload:
     ida_blocks: int
     utilisation: dict = field(default_factory=dict)
     queue_wait: dict = field(default_factory=dict)
+    profile: dict | None = None
 
     @property
     def mean_read_response_us(self) -> float:
@@ -171,6 +178,7 @@ class RunResultPayload:
             ida_blocks=result.ida_blocks,
             utilisation=result.utilisation,
             queue_wait=result.queue_wait,
+            profile=result.profile,
         )
 
 
@@ -213,6 +221,7 @@ def build_simulator(
     seed: int = 11,
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
+    profiler: SimProfiler | None = None,
 ) -> SsdSimulator:
     """Assemble a simulator for one system at one scale."""
     dev = _build_device(system, scale)
@@ -234,6 +243,7 @@ def build_simulator(
         policy=system.policy,
         tracer=tracer,
         collector=collector,
+        profiler=profiler,
     )
 
 
@@ -261,13 +271,20 @@ def run_workload(
     seed: int = 11,
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
+    profiler: SimProfiler | None = None,
 ) -> RunResult:
     """Execute one (system, workload) pair end to end."""
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
     sim = build_simulator(
-        system, scale, spec.duration_us, seed=seed, tracer=tracer, collector=collector
+        system,
+        scale,
+        spec.duration_us,
+        seed=seed,
+        tracer=tracer,
+        collector=collector,
+        profiler=profiler,
     )
     page_size = sim.geometry.page_size_bytes
 
@@ -311,6 +328,7 @@ def run_workload(
         queue_wait=sim.queue_wait_report(),
         scale=scale,
         seed=seed,
+        profile=sim.profiler.aggregate() if sim.profiler is not None else None,
     )
 
 
@@ -322,6 +340,7 @@ def run_workload_closed_loop(
     seed: int = 11,
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
+    profiler: SimProfiler | None = None,
 ) -> RunResult:
     """Closed-loop variant of :func:`run_workload` (Fig. 10 throughput).
 
@@ -332,7 +351,13 @@ def run_workload_closed_loop(
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
     sim = build_simulator(
-        system, scale, spec.duration_us, seed=seed, tracer=tracer, collector=collector
+        system,
+        scale,
+        spec.duration_us,
+        seed=seed,
+        tracer=tracer,
+        collector=collector,
+        profiler=profiler,
     )
     page_size = sim.geometry.page_size_bytes
 
@@ -354,6 +379,7 @@ def run_workload_closed_loop(
         queue_wait=sim.queue_wait_report(),
         scale=scale,
         seed=seed,
+        profile=sim.profiler.aggregate() if sim.profiler is not None else None,
     )
 
 

@@ -14,12 +14,21 @@ See ``docs/observability.md`` for the event schema and a worked example.
 
 from .histogram import Histogram, default_latency_bounds
 from .inspect import (
+    TraceLoadError,
     TraceSummary,
+    format_last_spans,
     format_trace_summary,
     load_trace,
+    load_trace_safe,
     summarize_trace,
 )
 from .interval import IntervalCollector, IntervalSnapshot
+from .profiler import (
+    ProfiledOp,
+    ProfiledRequest,
+    SimProfiler,
+    validate_chrome_trace,
+)
 from .tracer import (
     NULL_TRACER,
     SCHEMA_VERSION,
@@ -44,8 +53,15 @@ __all__ = [
     "default_latency_bounds",
     "IntervalCollector",
     "IntervalSnapshot",
+    "SimProfiler",
+    "ProfiledOp",
+    "ProfiledRequest",
+    "validate_chrome_trace",
     "TraceSummary",
+    "TraceLoadError",
     "load_trace",
+    "load_trace_safe",
     "summarize_trace",
     "format_trace_summary",
+    "format_last_spans",
 ]

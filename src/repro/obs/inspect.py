@@ -9,18 +9,70 @@ GC/refresh/IDA activity, end-of-run utilisation).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
 from .tracer import SCHEMA_VERSION, read_jsonl_trace
 
-__all__ = ["TraceSummary", "load_trace", "summarize_trace", "format_trace_summary"]
+__all__ = [
+    "TraceSummary",
+    "TraceLoadError",
+    "load_trace",
+    "load_trace_safe",
+    "summarize_trace",
+    "format_trace_summary",
+    "format_last_spans",
+]
+
+
+class TraceLoadError(ValueError):
+    """A trace file could not be loaded; the message says why and where."""
 
 
 def load_trace(path: str | Path) -> list[dict]:
     """Load a JSONL trace file into event dicts (alias of the reader)."""
     return read_jsonl_trace(path)
+
+
+def load_trace_safe(path: str | Path) -> tuple[list[dict], list[str]]:
+    """Load a JSONL trace, tolerating the failure modes real files have.
+
+    A missing file or garbage mid-file raises :class:`TraceLoadError`
+    with the offending path/line; an empty file loads as zero events;
+    a truncated *final* line (the writing process died mid-event — the
+    one corruption an append-only JSONL log produces on its own) is
+    dropped with a warning instead of poisoning the whole trace.
+
+    Returns ``(events, warnings)``.
+    """
+    target = Path(path)
+    if not target.exists():
+        raise TraceLoadError(f"trace file not found: {target}")
+    try:
+        lines = target.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise TraceLoadError(f"cannot read trace {target}: {exc}") from exc
+    numbered = [(i + 1, line.strip()) for i, line in enumerate(lines)]
+    numbered = [(n, line) for n, line in numbered if line]
+    events: list[dict] = []
+    warnings: list[str] = []
+    for position, (lineno, line) in enumerate(numbered):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if position == len(numbered) - 1:
+                warnings.append(
+                    f"dropped truncated final event on line {lineno} "
+                    f"(writer likely interrupted mid-write)"
+                )
+            else:
+                raise TraceLoadError(
+                    f"{target}: line {lineno} is not valid JSON ({exc.msg}); "
+                    "not a JSONL trace?"
+                ) from exc
+    return events, warnings
 
 
 @dataclass
@@ -131,3 +183,43 @@ def format_trace_summary(events: Sequence[dict], top: int = 10) -> str:
         rows = [[name, f"{value:.1%}"] for name, value in sorted(summary.utilisation.items())]
         lines.append(_table(["resource", "utilisation"], rows))
     return "\n".join(lines).rstrip()
+
+
+def format_last_spans(events: Sequence[dict], last: int) -> str:
+    """The final ``last`` request spans of a trace, in completion order.
+
+    The tail of a trace is where aborted or misbehaving runs tell their
+    story (what was in flight when things went wrong); this renders just
+    that window instead of the whole-trace summary.
+    """
+    if last < 1:
+        raise ValueError("last must be >= 1")
+    spans = [
+        event for event in events
+        if event.get("kind") in ("read_span", "write_span")
+    ]
+    if not spans:
+        return "no request spans in trace"
+    tail = spans[-last:]
+    rows = []
+    for event in tail:
+        critical = event.get("critical", {})
+        rows.append(
+            [
+                "R" if event.get("kind") == "read_span" else "W",
+                event.get("request_id", "?"),
+                f"{event.get('arrival_us', 0.0):.0f}",
+                f"{event.get('response_us', 0.0):.1f}",
+                event.get("pages", 0),
+                f"{critical.get('queue_wait_us', 0.0):.1f}",
+                f"{critical.get('sense_us', 0.0):.1f}",
+                f"{critical.get('transfer_us', 0.0):.1f}",
+                f"{critical.get('program_us', 0.0):.1f}",
+            ]
+        )
+    table = _table(
+        ["rw", "req", "arrival_us", "response_us", "pages", "wait_us",
+         "sense_us", "xfer_us", "prog_us"],
+        rows,
+    )
+    return f"last {len(tail)} of {len(spans)} request spans:\n{table}"

@@ -98,6 +98,7 @@ class IntervalCollector:
         self._engine = None
         self._dies: list = []
         self._channels: list = []
+        self._profiler = None
         self._running = False
         self._reset_interval_counters(0.0)
 
@@ -109,6 +110,15 @@ class IntervalCollector:
         self._engine = engine
         self._dies = dies
         self._channels = channels
+
+    def attach_profiler(self, profiler) -> None:
+        """Drive a profiler's timeline from this collector's cadence.
+
+        Each closed interval also closes one profiler timeline sample,
+        so utilization/queue-depth timelines share the run's sampling
+        grid instead of inventing a second clock.
+        """
+        self._profiler = profiler
 
     def start(self) -> None:
         """Begin sampling from the engine's current time."""
@@ -165,6 +175,8 @@ class IntervalCollector:
     def _close_interval(self) -> None:
         now = self._engine.now
         elapsed = now - self._interval_start
+        if self._profiler is not None:
+            self._profiler.sample_interval(self._interval_start, now)
         die_busy, chan_busy = self._busy_totals()
 
         def util(busy: float, baseline: float, n: int) -> float:

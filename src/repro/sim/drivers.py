@@ -51,6 +51,8 @@ def _schedule_background(
 def _begin_run(sim: "SsdSimulator", mode: str, n_requests: int) -> None:
     if sim.collector is not None:
         sim.collector.start()
+    if sim.profiler is not None:
+        sim.profiler.start_run(sim.engine.now)
     if sim.tracer.enabled:
         sim.tracer.emit(
             sim.engine.now,
@@ -66,6 +68,8 @@ def _begin_run(sim: "SsdSimulator", mode: str, n_requests: int) -> None:
 def _end_run(sim: "SsdSimulator") -> None:
     if sim.collector is not None:
         sim.collector.finish()
+    if sim.profiler is not None:
+        sim.profiler.finish_run(sim.engine.now, sim.metrics.elapsed_us)
     if sim.tracer.enabled:
         sim.tracer.emit(
             sim.engine.now,

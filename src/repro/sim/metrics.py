@@ -50,12 +50,18 @@ class LatencyStats:
     def mean_us(self) -> float:
         return self._total / len(self._samples) if self._samples else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Exact ``q``-th percentile (0 < q <= 100) by nearest-rank."""
+    def percentile(self, q: float) -> float | None:
+        """Exact ``q``-th percentile (0 < q <= 100) by nearest-rank.
+
+        Degenerate populations have well-defined answers instead of
+        surprises: an empty population has no percentiles (``None`` —
+        0.0 would be indistinguishable from a genuinely instant
+        response), and a single sample is every percentile of itself.
+        """
         if not 0 < q <= 100:
             raise ValueError("q must be in (0, 100]")
         if not self._samples:
-            return 0.0
+            return None
         if self._sorted is None:
             self._sorted = sorted(self._samples)
         rank = max(1, math.ceil(q / 100 * len(self._sorted)))

@@ -291,6 +291,10 @@ class OpPipeline:
             (request trackers, internal chains) consumes.
         span: Optional :class:`RequestSpan` the finished record joins.
         record: Optional :class:`PageRecord` noting stage boundaries.
+        profile: Optional profiler op context
+            (:class:`~repro.obs.profiler.ProfiledOp`) fed the same stage
+            boundaries plus resource identity; unprofiled runs pay one
+            ``is None`` check per boundary, exactly like ``record``.
     """
 
     __slots__ = (
@@ -301,6 +305,7 @@ class OpPipeline:
         "on_done",
         "span",
         "record",
+        "profile",
         "_index",
         "_submit_us",
         "_last_start_us",
@@ -315,6 +320,7 @@ class OpPipeline:
         on_done: Callable[[float, float], None],
         span: RequestSpan | None = None,
         record: PageRecord | None = None,
+        profile=None,
     ) -> None:
         if not stages:
             raise ValueError("a pipeline needs at least one stage")
@@ -325,6 +331,7 @@ class OpPipeline:
         self.on_done = on_done
         self.span = span
         self.record = record
+        self.profile = profile
         self._index = 0
         self._submit_us = 0.0
         self._last_start_us = 0.0
@@ -351,6 +358,8 @@ class OpPipeline:
             self.record.note_stage(
                 stage.name, start_us - self._submit_us, start_us, end_us
             )
+        if self.profile is not None:
+            self.profile.note_stage(stage, self._submit_us, start_us, end_us)
         if stage.resource is not None:
             self._last_start_us = start_us
         self._index += 1
@@ -359,4 +368,6 @@ class OpPipeline:
             return
         if self.record is not None and self.span is not None:
             self.span.add_page(self.record)
+        if self.profile is not None:
+            self.profile.complete(end_us)
         self.on_done(self._last_start_us, end_us)

@@ -25,6 +25,7 @@ __all__ = [
     "Resource",
     "mean_utilisation",
     "aggregate_queue_waits",
+    "aggregate_wait_breakdown",
 ]
 
 
@@ -42,6 +43,10 @@ class _PendingOp:
     on_done: Callable[[float, float], None]
     enqueued_us: float
     klass: IoPriority
+    # Wait-class profiling snapshot, filled only when the owning
+    # resource's profiling is enabled: (per-class busy integral at
+    # enqueue, (class, end_us) of the op then in service or None).
+    snapshot: tuple | None = None
 
 
 class Resource:
@@ -53,13 +58,28 @@ class Resource:
     Attributes:
         engine: The simulation engine supplying the clock.
         name: Diagnostic label.
+        kind: Resource class this instance belongs to (``"die"`` /
+            ``"channel"``); profiler track grouping keys on it.
+        index: Position within its kind (die 3, channel 0, ...).
         busy_us: Accumulated service time (for utilisation reporting).
+        busy_us_by_class: Accumulated service time per dispatch class.
     """
 
-    def __init__(self, engine: SimEngine, name: str) -> None:
+    def __init__(
+        self,
+        engine: SimEngine,
+        name: str,
+        kind: str = "resource",
+        index: int = 0,
+    ) -> None:
         self.engine = engine
         self.name = name
+        self.kind = kind
+        self.index = index
         self.busy_us = 0.0
+        #: Service time per dispatch class — the busy integral the
+        #: wait-class attribution differences (one float add per start).
+        self.busy_us_by_class = [0.0] * len(IoPriority)
         self._busy = False
         self._queues: tuple[deque[_PendingOp], ...] = tuple(
             deque() for _ in IoPriority
@@ -70,6 +90,22 @@ class Resource:
         # "the die was busy with someone else's work" in run reports.
         self._ops_served = [0] * len(IoPriority)
         self._wait_us = [0.0] * len(IoPriority)
+        # Wait-class breakdown, gated behind enable_wait_profile():
+        # *who* a waiting op spent its queue time behind.  Row = waiter's
+        # dispatch class, column = server's dispatch class.
+        # ``_wait_behind`` counts service periods that *started* during
+        # the wait (the scheduler chose someone else); ``_wait_inflight``
+        # counts the remainder of the op already in service at enqueue
+        # (non-preemptive exposure).  Per waiting op the two sum exactly
+        # to its queue wait.
+        self.profile_waits = False
+        self._wait_behind = [
+            [0.0] * len(IoPriority) for _ in IoPriority
+        ]
+        self._wait_inflight = [
+            [0.0] * len(IoPriority) for _ in IoPriority
+        ]
+        self._inflight: tuple[IoPriority, float] | None = None
 
     @property
     def is_busy(self) -> bool:
@@ -105,10 +141,15 @@ class Resource:
         # resource is momentarily idle (e.g. from a completion callback
         # that chains background work) must not jump ahead of
         # higher-priority operations already waiting.
-        self._queues[queue if queue is not None else priority].append(
-            _PendingOp(duration, on_done, self.engine.now, priority)
-        )
+        op = _PendingOp(duration, on_done, self.engine.now, priority)
+        if self.profile_waits:
+            op.snapshot = (tuple(self.busy_us_by_class), self._inflight)
+        self._queues[queue if queue is not None else priority].append(op)
         self._dispatch_next()
+
+    def enable_wait_profile(self) -> None:
+        """Turn on the wait-class breakdown for subsequent submissions."""
+        self.profile_waits = True
 
     def _start(self, op: _PendingOp) -> None:
         self._busy = True
@@ -117,6 +158,25 @@ class Resource:
         self.busy_us += op.duration
         self._ops_served[op.klass] += 1
         self._wait_us[op.klass] += start - op.enqueued_us
+        if op.snapshot is not None:
+            # While this op waited the resource was continuously busy, so
+            # its wait tiles exactly into (a) the remainder of the op in
+            # service at enqueue and (b) service periods that started
+            # during the wait — which is the growth of the per-class busy
+            # integral since the snapshot, because integrals are credited
+            # here, at service start.
+            base, inflight = op.snapshot
+            if start > op.enqueued_us:
+                if inflight is not None:
+                    served_by, served_end = inflight
+                    self._wait_inflight[op.klass][served_by] += max(
+                        0.0, min(served_end, start) - op.enqueued_us
+                    )
+                behind = self._wait_behind[op.klass]
+                for k in IoPriority:
+                    behind[k] += self.busy_us_by_class[k] - base[k]
+        self.busy_us_by_class[op.klass] += op.duration
+        self._inflight = (op.klass, end)
 
         def finish() -> None:
             self._busy = False
@@ -152,6 +212,28 @@ class Resource:
             }
         return stats
 
+    def wait_class_breakdown(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Who each class waited behind, split started-vs-inflight.
+
+        ``breakdown[waiter][server]`` holds ``behind_us`` (service periods
+        the scheduler started while the waiter sat queued) and
+        ``inflight_us`` (remainder of the op already in service when the
+        waiter arrived — non-preemptive exposure).  Summing both matrices
+        over servers reproduces the waiter's ``total_wait_us`` from
+        :meth:`queue_wait_stats` exactly, which is the invariant the
+        profiler tests pin.  Empty until :meth:`enable_wait_profile`.
+        """
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        for waiter in IoPriority:
+            row: dict[str, dict[str, float]] = {}
+            for server in IoPriority:
+                row[server.name.lower()] = {
+                    "behind_us": self._wait_behind[waiter][server],
+                    "inflight_us": self._wait_inflight[waiter][server],
+                }
+            out[waiter.name.lower()] = row
+        return out
+
 
 def mean_utilisation(resources: list[Resource], elapsed_us: float) -> float:
     """Mean service fraction across a resource class (dies or channels)."""
@@ -178,4 +260,26 @@ def aggregate_queue_waits(resources: list[Resource]) -> dict[str, dict[str, floa
     for bucket in merged.values():
         if bucket["ops"]:
             bucket["mean_wait_us"] = bucket["total_wait_us"] / bucket["ops"]
+    return merged
+
+
+def aggregate_wait_breakdown(
+    resources: list[Resource],
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Merge per-resource wait-class breakdowns across a resource class.
+
+    The answer to "how much of host-read queue time was spent behind
+    writes?" for a whole die or channel array — the contention view the
+    profiler embeds in run manifests.
+    """
+    merged: dict[str, dict[str, dict[str, float]]] = {}
+    for resource in resources:
+        for waiter, row in resource.wait_class_breakdown().items():
+            target = merged.setdefault(waiter, {})
+            for server, cells in row.items():
+                bucket = target.setdefault(
+                    server, {"behind_us": 0.0, "inflight_us": 0.0}
+                )
+                bucket["behind_us"] += cells["behind_us"]
+                bucket["inflight_us"] += cells["inflight_us"]
     return merged

@@ -88,6 +88,10 @@ class SsdSimulator:
             events, touches RNG streams, or alters metrics.
         collector: Optional interval time-series collector; bound to
             this simulator's engine and resources, started per run.
+        profiler: Optional :class:`~repro.obs.profiler.SimProfiler`;
+            bound like the collector and fed stage boundaries, request
+            completions and (via the collector's cadence) interval
+            samples.  Passive — ``None`` costs one check per boundary.
     """
 
     def __init__(
@@ -103,6 +107,7 @@ class SsdSimulator:
         policy: SchedulingPolicy | str | None = None,
         tracer: Tracer | None = None,
         collector: IntervalCollector | None = None,
+        profiler=None,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
@@ -128,11 +133,16 @@ class SsdSimulator:
             tracer=self.tracer,
         )
         self.dies = [
-            Resource(self.engine, f"die{d}") for d in range(geometry.total_dies)
+            Resource(self.engine, f"die{d}", kind="die", index=d)
+            for d in range(geometry.total_dies)
         ]
         self.channels = [
-            Resource(self.engine, f"chan{c}") for c in range(geometry.channels)
+            Resource(self.engine, f"chan{c}", kind="channel", index=c)
+            for c in range(geometry.channels)
         ]
+        self.profiler = profiler if (profiler is not None and profiler.enabled) else None
+        if self.profiler is not None:
+            self.profiler.bind(self.engine, self.dies, self.channels)
         self.ops_dispatched = 0
         self._internal_sink = _NullCompletion()
         self._planner = StagePlanner(timing)
@@ -152,6 +162,11 @@ class SsdSimulator:
         ]
         if self.collector is not None:
             self.collector.bind(self.engine, self.dies, self.channels)
+            # Utilization/queue-depth timelines ride the collector's
+            # sampling cadence; without a collector the profiler still
+            # attributes latency, it just has no timeline.
+            if self.profiler is not None:
+                self.collector.attach_profiler(self.profiler)
 
     # ------------------------------------------------------------------
     # Preconditioning
@@ -230,6 +245,15 @@ class SsdSimulator:
         on_request_done,
     ) -> None:
         span = RequestSpan(request) if self.tracer.enabled else None
+        prof_ctx = (
+            self.profiler.begin_request(
+                request.request_id,
+                request.arrival_us,
+                "read" if klass is IoPriority.HOST_READ else "write",
+            )
+            if self.profiler is not None
+            else None
+        )
         stats = (
             self.metrics.read_response
             if klass is IoPriority.HOST_READ
@@ -256,6 +280,10 @@ class SsdSimulator:
                 record_interval(response, req.size_bytes)
             if span is not None:
                 span.emit(self.tracer, span_kind, now_us, self.timing.host_overhead_us)
+            if prof_ctx is not None:
+                self.profiler.end_request(
+                    prof_ctx, now_us, self.timing.host_overhead_us
+                )
             if on_request_done is not None:
                 on_request_done()
 
@@ -265,7 +293,7 @@ class SsdSimulator:
             outstanding.page_done(end_us)
 
         for op in ops:
-            self._issue(op, klass, page_done, span=span)
+            self._issue(op, klass, page_done, span=span, prof_ctx=prof_ctx)
 
     # ------------------------------------------------------------------
     # Op issue (policy + pipeline)
@@ -307,6 +335,7 @@ class SsdSimulator:
         klass: IoPriority,
         on_done,
         span: RequestSpan | None = None,
+        prof_ctx=None,
     ) -> None:
         """Route one physical op into its stage pipeline."""
         die_index, die, channel = self._plane_routes[
@@ -344,6 +373,11 @@ class SsdSimulator:
                 retries,
                 submit_us=self.engine.now,
             )
+        profile = (
+            self.profiler.begin_op(klass, prof_ctx)
+            if self.profiler is not None
+            else None
+        )
         OpPipeline(
             self.engine,
             stages,
@@ -352,6 +386,7 @@ class SsdSimulator:
             on_done,
             span=span,
             record=record,
+            profile=profile,
         ).start()
 
     # ------------------------------------------------------------------

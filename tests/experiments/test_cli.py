@@ -103,3 +103,73 @@ class TestInspectSubcommand:
         assert "slowest reads" in out
         assert "read_span" in out
         assert "utilisation" in out
+
+    def test_inspect_last_window(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "--scale", "tiny", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace), "--last", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "last 4 of" in out
+        assert "slowest reads" not in out
+
+    def test_inspect_empty_trace(self, capsys, tmp_path):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["inspect", str(trace)]) == 0
+        assert "contains no events" in capsys.readouterr().out
+
+    def test_inspect_truncated_final_line_warns(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"kind": "gc", "t_us": 1.0}\n{"kind": "gc"')
+        assert main(["inspect", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "dropped truncated final event" in captured.err
+
+    def test_inspect_missing_file(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["inspect", "/nonexistent/t.jsonl"])
+
+    def test_inspect_rejects_bad_last(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("")
+        with pytest.raises(SystemExit):
+            main(["inspect", str(trace), "--last", "0"])
+
+
+class TestProfileSubcommand:
+    def test_profile_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        aggregate = tmp_path / "agg.json"
+        code = main([
+            "profile", "--system", "ida-e20", "--workload", "usr_1",
+            "--scale", "tiny", "--out", str(trace),
+            "--aggregate", str(aggregate),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attribution residual" in out
+        assert "perfetto" in out.lower()
+        exported = json.loads(trace.read_text())
+        assert validate_chrome_trace(exported) == []
+        profile = json.loads(aggregate.read_text())
+        assert profile["requests"]["read"]["count"] > 0
+        assert profile["max_residual_us"] <= 1e-6
+
+    def test_profile_summary_only(self, capsys):
+        assert main(["profile", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "read " in out
+        assert "wait" in out
+
+    def test_profile_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--workload", "proj_0"])
+
+    def test_profile_rejects_bad_interval(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--interval-us", "-5"])

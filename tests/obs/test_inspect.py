@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.obs.inspect import (
+    TraceLoadError,
+    format_last_spans,
     format_trace_summary,
     load_trace,
+    load_trace_safe,
     summarize_trace,
 )
 from repro.obs.tracer import SCHEMA_VERSION, JsonlSink, Tracer
@@ -96,3 +101,89 @@ class TestLoadTrace:
             tracer.emit(1.0, "gc", block=9)
         events = load_trace(path)
         assert [e["kind"] for e in events] == ["trace_header", "gc"]
+
+
+class TestLoadTraceSafe:
+    def write(self, tmp_path, text):
+        path = tmp_path / "t.jsonl"
+        path.write_text(text)
+        return path
+
+    def test_valid_trace_no_warnings(self, tmp_path):
+        path = self.write(
+            tmp_path, '{"kind": "gc", "t_us": 1.0}\n{"kind": "gc", "t_us": 2.0}\n'
+        )
+        events, warnings = load_trace_safe(path)
+        assert len(events) == 2
+        assert warnings == []
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceLoadError, match="not found"):
+            load_trace_safe(tmp_path / "nope.jsonl")
+
+    def test_empty_file_is_zero_events(self, tmp_path):
+        events, warnings = load_trace_safe(self.write(tmp_path, ""))
+        assert events == []
+        assert warnings == []
+
+    def test_truncated_final_line_dropped_with_warning(self, tmp_path):
+        path = self.write(
+            tmp_path, '{"kind": "gc", "t_us": 1.0}\n{"kind": "gc", "t_'
+        )
+        events, warnings = load_trace_safe(path)
+        assert len(events) == 1
+        assert len(warnings) == 1
+        assert "line 2" in warnings[0]
+
+    def test_garbage_mid_file_raises_with_line_number(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            '{"kind": "gc", "t_us": 1.0}\nnot json\n{"kind": "gc", "t_us": 2.0}\n'
+        )
+        with pytest.raises(TraceLoadError, match="line 2"):
+            load_trace_safe(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = self.write(tmp_path, '\n{"kind": "gc", "t_us": 1.0}\n\n')
+        events, warnings = load_trace_safe(path)
+        assert len(events) == 1
+        assert warnings == []
+
+
+class TestFormatLastSpans:
+    def spans(self):
+        events = [read_span(i, 100.0 + i) for i in range(5)]
+        events.append({
+            "kind": "write_span", "t_us": 300.0, "request_id": 5,
+            "arrival_us": 5.0, "response_us": 900.0, "pages": 3,
+            "critical": {"queue_wait_us": 10.0, "transfer_us": 48.0,
+                         "program_us": 700.0},
+        })
+        return events
+
+    def test_tail_window_and_order(self):
+        report = format_last_spans(self.spans(), last=3)
+        assert "last 3 of 6 request spans" in report
+        # Completion order: requests 3, 4, then the write (5).
+        assert report.index("103.0") < report.index("104.0") < report.index("900.0")
+        assert "100.0" not in report
+
+    def test_write_rows_flagged(self):
+        report = format_last_spans(self.spans(), last=1)
+        lines = report.splitlines()
+        assert lines[-1].startswith("W")
+        assert "700.0" in lines[-1]
+
+    def test_window_larger_than_trace(self):
+        report = format_last_spans(self.spans(), last=100)
+        assert "last 6 of 6 request spans" in report
+
+    def test_no_spans(self):
+        report = format_last_spans(
+            [{"kind": "trace_header", "t_us": 0.0}], last=5
+        )
+        assert report == "no request spans in trace"
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            format_last_spans(self.spans(), last=0)

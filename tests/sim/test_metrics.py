@@ -12,8 +12,31 @@ class TestLatencyStats:
         stats = LatencyStats()
         assert stats.count == 0
         assert stats.mean_us == 0.0
-        assert stats.percentile(50) == 0.0
+        # An empty population has no percentiles: None, never a fake 0.0
+        # (indistinguishable from a genuinely instant response) and
+        # never an IndexError.
+        assert stats.percentile(50) is None
+        assert stats.percentile(99) is None
         assert stats.max_us == 0.0
+
+    def test_empty_summary_propagates_none(self):
+        summary = LatencyStats().summary()
+        assert summary["count"] == 0
+        assert summary["mean_us"] == 0.0
+        assert summary["p50_us"] is None
+        assert summary["p95_us"] is None
+        assert summary["p99_us"] is None
+        assert summary["max_us"] == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        stats = LatencyStats()
+        stats.add(42.0)
+        for q in (1, 50, 95, 99, 100):
+            assert stats.percentile(q) == 42.0
+        summary = stats.summary()
+        assert summary["p50_us"] == 42.0
+        assert summary["p99_us"] == 42.0
+        assert summary["max_us"] == 42.0
 
     def test_mean_and_total(self):
         stats = LatencyStats()

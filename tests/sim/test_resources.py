@@ -126,3 +126,132 @@ class TestQueueWaitStats:
         resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
         # Before the engine runs, only the first dispatched immediately.
         assert resource.queue_wait_stats()["host_read"]["ops"] == 1
+
+
+class TestWaitClassBreakdown:
+    """Who a queued op waited behind, per scheduling policy.
+
+    Ops are submitted through ``policy.queue_class`` exactly as the SSD
+    model does, so each case exercises the real policy mapping.  The
+    pinned invariant: the ``behind`` + ``inflight`` matrices sum to the
+    class's total queue wait, and under read-first the scheduler never
+    *starts* a write while a read is queued (``behind_us`` stays zero —
+    a read's only write exposure is non-preemptive ``inflight_us``).
+    """
+
+    @staticmethod
+    def submit_via(resource, policy, klass, duration):
+        resource.submit(klass, duration, lambda s, e: None,
+                        queue=policy.queue_class(klass))
+
+    @staticmethod
+    def total_wait(breakdown, waiter):
+        return sum(
+            cell["behind_us"] + cell["inflight_us"]
+            for cell in breakdown[waiter].values()
+        )
+
+    def test_disabled_by_default(self, engine, resource):
+        resource.submit(IoPriority.HOST_WRITE, 100.0, lambda s, e: None)
+        resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
+        engine.run()
+        breakdown = resource.wait_class_breakdown()
+        assert self.total_wait(breakdown, "host_read") == 0.0
+
+    def test_read_first_reads_never_wait_behind_started_writes(
+        self, engine, resource
+    ):
+        from repro.sim.policy import make_policy
+
+        policy = make_policy("read-first")
+        resource.enable_wait_profile()
+        # Internal op in service; a write and a read queue behind it.
+        self.submit_via(resource, policy, IoPriority.INTERNAL, 1000.0)
+        engine.at(5.0, lambda: self.submit_via(
+            resource, policy, IoPriority.HOST_WRITE, 50.0))
+        engine.at(10.0, lambda: self.submit_via(
+            resource, policy, IoPriority.HOST_READ, 10.0))
+        engine.run()
+        breakdown = resource.wait_class_breakdown()
+        read = breakdown["host_read"]
+        # The read overtook the queued write: no write service period
+        # started during its wait, and none was in flight.
+        assert read["host_write"]["behind_us"] == 0.0
+        assert read["host_write"]["inflight_us"] == 0.0
+        # Its whole wait is the in-service internal op's remainder.
+        assert read["internal"]["inflight_us"] == 990.0
+        assert self.total_wait(breakdown, "host_read") == 990.0
+        # The write waited out the internal remainder (995) plus the
+        # read the scheduler preferred (10, a *started* period).
+        write = breakdown["host_write"]
+        assert write["internal"]["inflight_us"] == 995.0
+        assert write["host_read"]["behind_us"] == 10.0
+        assert self.total_wait(breakdown, "host_write") == 1005.0
+
+    def test_throttled_keeps_read_first_ordering(self, engine, resource):
+        from repro.sim.policy import make_policy
+
+        policy = make_policy("throttled")
+        resource.enable_wait_profile()
+        self.submit_via(resource, policy, IoPriority.INTERNAL, 1000.0)
+        engine.at(5.0, lambda: self.submit_via(
+            resource, policy, IoPriority.HOST_WRITE, 50.0))
+        engine.at(10.0, lambda: self.submit_via(
+            resource, policy, IoPriority.HOST_READ, 10.0))
+        engine.run()
+        read = resource.wait_class_breakdown()["host_read"]
+        assert read["host_write"]["behind_us"] == 0.0
+        assert read["host_write"]["inflight_us"] == 0.0
+
+    def test_fcfs_reads_do_wait_behind_started_writes(self, engine, resource):
+        from repro.sim.policy import make_policy
+
+        policy = make_policy("fcfs")
+        resource.enable_wait_profile()
+        # One queue: write in service, a second write queued, then a read.
+        self.submit_via(resource, policy, IoPriority.HOST_WRITE, 100.0)
+        engine.at(5.0, lambda: self.submit_via(
+            resource, policy, IoPriority.HOST_WRITE, 100.0))
+        engine.at(10.0, lambda: self.submit_via(
+            resource, policy, IoPriority.HOST_READ, 10.0))
+        engine.run()
+        read = resource.wait_class_breakdown()["host_read"]
+        # The queued write started during the read's wait (FCFS chose
+        # arrival order): 100 us of *started* write service, plus the
+        # 90 us remainder of the write already in flight.
+        assert read["host_write"]["behind_us"] == 100.0
+        assert read["host_write"]["inflight_us"] == 90.0
+        assert self.total_wait(
+            resource.wait_class_breakdown(), "host_read") == 190.0
+
+    def test_breakdown_sums_to_queue_wait_stats(self, engine, resource):
+        from repro.sim.policy import make_policy
+
+        policy = make_policy("read-first")
+        resource.enable_wait_profile()
+        for tick in range(8):
+            klass = (IoPriority.INTERNAL, IoPriority.HOST_WRITE,
+                     IoPriority.HOST_READ)[tick % 3]
+            engine.at(tick * 30.0, lambda k=klass: self.submit_via(
+                resource, policy, k, 100.0))
+        engine.run()
+        breakdown = resource.wait_class_breakdown()
+        stats = resource.queue_wait_stats()
+        for klass in ("host_read", "host_write", "internal"):
+            assert self.total_wait(breakdown, klass) == pytest.approx(
+                stats[klass]["total_wait_us"], abs=1e-9)
+
+    def test_aggregate_across_resources(self, engine):
+        from repro.sim.resources import aggregate_wait_breakdown
+
+        first = Resource(engine, "die0", kind="die", index=0)
+        second = Resource(engine, "die1", kind="die", index=1)
+        for resource in (first, second):
+            resource.enable_wait_profile()
+            resource.submit(IoPriority.HOST_WRITE, 100.0, lambda s, e: None)
+            resource.submit(IoPriority.HOST_READ, 10.0, lambda s, e: None)
+        engine.run()
+        merged = aggregate_wait_breakdown([first, second])
+        # Each die exposed its read to a 100 us in-flight write.
+        assert merged["host_read"]["host_write"]["inflight_us"] == 200.0
+        assert merged["host_read"]["host_write"]["behind_us"] == 0.0
