@@ -33,9 +33,13 @@ from .obs import (
 
 from .experiments import (
     RunScale,
+    breakdown_to_json,
+    faults_to_json,
     format_ablation,
     format_capacity,
+    format_faults,
     run_capacity_analysis,
+    run_faults,
     format_fig4,
     format_fig8,
     format_fig9,
@@ -75,6 +79,7 @@ ARTIFACTS: dict[str, tuple[Callable, Callable]] = {
     "table4": (run_table4, format_table4),
     "table5": (run_table5, format_table5),
     "qlc": (run_qlc_extension, format_qlc),
+    "faults": (run_faults, format_faults),
     "capacity": (run_capacity_analysis, format_capacity),
     "ablation-adjust": (run_adjust_cost_ablation, format_ablation),
     "ablation-refresh": (run_refresh_frequency_ablation, format_ablation),
@@ -117,7 +122,27 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the sweep fan-out (default: 1 = inline)",
     )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="on a failed sweep unit, drop that workload and finish the "
+             "artifact from the surviving ones instead of aborting",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write the artifact's JSON form to PATH "
+             "(supported by: faults, breakdown)",
+    )
     return parser
+
+
+#: artifact name -> JSON exporter, for artifacts that have one.
+_JSON_EXPORTERS: dict[str, Callable] = {
+    "faults": faults_to_json,
+    "breakdown": breakdown_to_json,
+}
 
 
 def _run_one(
@@ -125,6 +150,8 @@ def _run_one(
     scale: RunScale,
     workload_names: list[str] | None,
     jobs: int = 1,
+    keep_going: bool = False,
+    json_out: str | None = None,
 ) -> str:
     runner, formatter = ARTIFACTS[name]
     started = time.time()
@@ -132,9 +159,21 @@ def _run_one(
         scale=scale,
         workload_names=workload_names,
         jobs=jobs,
-        progress=print if jobs > 1 else None,
+        progress=print if (jobs > 1 or keep_going) else None,
+        keep_going=keep_going,
     )
     elapsed = time.time() - started
+    if json_out:
+        exporter = _JSON_EXPORTERS.get(name)
+        if exporter is None:
+            raise SystemExit(
+                f"--json-out is not supported for {name!r}; "
+                f"use one of {sorted(_JSON_EXPORTERS)}"
+            )
+        import json
+
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump(exporter(result), handle, indent=2)
     return f"{formatter(result)}\n[{name}: {elapsed:.1f}s]"
 
 
@@ -177,6 +216,9 @@ def _build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (N>1 runs in a pool; tracing "
                              "and interval collection require --jobs 1)")
+    parser.add_argument("--faults", metavar="PATH", default=None,
+                        help="inject the fault plan (JSON, see docs/faults.md) "
+                             "into the run")
     return parser
 
 
@@ -188,6 +230,14 @@ def _cmd_run(argv: list[str]) -> int:
 
     args = _build_run_parser().parse_args(argv)
     system = _parse_system(args.system)
+    plan = None
+    if args.faults:
+        from .faults import load_plan
+
+        try:
+            plan = load_plan(args.faults)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load fault plan {args.faults!r}: {exc}") from None
     try:
         system = system.with_policy(args.policy)
     except ValueError as exc:
@@ -214,11 +264,11 @@ def _cmd_run(argv: list[str]) -> int:
     if args.jobs == 1:
         result = run_workload(
             system, spec, scale, seed=args.seed, tracer=tracer,
-            collector=collector,
+            collector=collector, faults=plan,
         )
         payload = result.to_payload()
     else:
-        unit = RunUnit(system, args.workload, scale, seed=args.seed)
+        unit = RunUnit(system, args.workload, scale, seed=args.seed, faults=plan)
         payload = SweepExecutor(jobs=args.jobs).map([unit])[0]
     elapsed = time.time() - started
     if tracer is not None:
@@ -239,6 +289,11 @@ def _cmd_run(argv: list[str]) -> int:
     print(f"  throughput: {payload.throughput_mb_s:.2f} MB/s  "
           f"utilisation: die {payload.utilisation.get('die', 0.0):.1%} / "
           f"channel {payload.utilisation.get('channel', 0.0):.1%}")
+    if payload.faults is not None:
+        fired = payload.faults.get("fired", {})
+        active = {k: v for k, v in fired.items() if v}
+        print(f"  faults: {len(payload.faults.get('events', []))} events "
+              f"fired {active or '(none)'}")
     if tracer is not None:
         print(f"  trace : {args.trace} ({tracer.events_emitted} events)")
     if collector is not None:
@@ -403,8 +458,19 @@ def main(argv: list[str] | None = None) -> int:
     scale = _SCALES[args.scale]()
     workload_names = args.workloads.split(",") if args.workloads else None
     targets = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    if args.json_out and len(targets) != 1:
+        raise SystemExit("--json-out needs a single artifact, not 'all'")
     for name in targets:
-        print(_run_one(name, scale, workload_names, jobs=args.jobs))
+        print(
+            _run_one(
+                name,
+                scale,
+                workload_names,
+                jobs=args.jobs,
+                keep_going=args.keep_going,
+                json_out=args.json_out,
+            )
+        )
         print()
     return 0
 

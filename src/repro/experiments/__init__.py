@@ -13,6 +13,13 @@ from .capacity_analysis import (
     run_capacity_analysis,
 )
 from .config import DeviceConfig, RunScale, device
+from .faults_artifact import (
+    FaultCell,
+    FaultsResult,
+    faults_to_json,
+    format_faults,
+    run_faults,
+)
 from .fig4_motivation import Fig4Result, Fig4Row, format_fig4, run_fig4
 from .fig8_response_time import Fig8Result, format_fig8, run_fig8
 from .fig9_dtr_sensitivity import Fig9Result, format_fig9, run_fig9
@@ -31,6 +38,8 @@ from .parallel import (
     SweepExecutor,
     execute_unit,
     execute_units,
+    failed_workloads,
+    prune_failed,
 )
 from .qlc_extension import QlcResult, format_qlc, run_qlc_extension
 from .reporting import (
@@ -70,6 +79,11 @@ __all__ = [
     "DeviceConfig",
     "RunScale",
     "device",
+    "FaultCell",
+    "FaultsResult",
+    "faults_to_json",
+    "format_faults",
+    "run_faults",
     "Fig4Result",
     "Fig4Row",
     "format_fig4",
@@ -100,6 +114,8 @@ __all__ = [
     "SweepExecutor",
     "execute_unit",
     "execute_units",
+    "failed_workloads",
+    "prune_failed",
     "ascii_table",
     "format_pct",
     "build_run_manifest",

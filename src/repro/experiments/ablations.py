@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, failed_workloads
 from .reporting import ascii_table
 from .runner import improvement_pct
 from .systems import SystemSpec, baseline, ida
@@ -54,20 +54,31 @@ def _run_paired_sweep(
     seed: int,
     jobs: int,
     progress: ProgressFn | None,
+    keep_going: bool = False,
 ) -> AblationResult:
     """Fan out (setting, workload, baseline, variant, scale) cells.
 
     Each cell becomes one baseline unit and one variant unit; the
     improvement is computed after the fan-out from the collected pairs.
+    With ``keep_going``, a failure prunes its workload across every
+    setting so the per-setting averages stay comparable.
     """
     units = []
     for _, name, base_system, variant_system, scale in cells:
         units.append(RunUnit(base_system, name, scale, seed=seed))
         units.append(RunUnit(variant_system, name, scale, seed=seed))
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    failed = failed_workloads(payloads)
+    if failed and progress is not None:
+        for name in sorted(failed):
+            progress(f"keep-going: dropping workload {name!r} (unit failed)")
 
     result = AblationResult(knob=knob)
     for index, (setting, name, *_) in enumerate(cells):
+        if name in failed:
+            continue
         base, variant = payloads[2 * index : 2 * index + 2]
         result.improvement_pct.setdefault(setting, {})[name] = improvement_pct(
             variant, base
@@ -82,6 +93,7 @@ def run_adjust_cost_ablation(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> AblationResult:
     """IDA benefit under proportional vs conservative adjustment cost."""
     scale = scale or RunScale.bench()
@@ -96,7 +108,9 @@ def run_adjust_cost_ablation(
         for fraction in fractions
         for name in _workloads(workload_names)
     ]
-    return _run_paired_sweep("adjust_program_fraction", cells, seed, jobs, progress)
+    return _run_paired_sweep(
+        "adjust_program_fraction", cells, seed, jobs, progress, keep_going
+    )
 
 
 def run_refresh_frequency_ablation(
@@ -106,6 +120,7 @@ def run_refresh_frequency_ablation(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> AblationResult:
     """IDA benefit vs refresh cycles per trace (more cycles = fresher IDA)."""
     scale = scale or RunScale.bench()
@@ -120,7 +135,9 @@ def run_refresh_frequency_ablation(
         for value in cycles
         for name in _workloads(workload_names)
     ]
-    return _run_paired_sweep("refresh_cycles", cells, seed, jobs, progress)
+    return _run_paired_sweep(
+        "refresh_cycles", cells, seed, jobs, progress, keep_going
+    )
 
 
 def run_allocation_ablation(
@@ -130,6 +147,7 @@ def run_allocation_ablation(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> AblationResult:
     """IDA benefit under different static allocation stripe orders."""
     scale = scale or RunScale.bench()
@@ -144,7 +162,9 @@ def run_allocation_ablation(
         for strategy in strategies
         for name in _workloads(workload_names)
     ]
-    return _run_paired_sweep("allocation", cells, seed, jobs, progress)
+    return _run_paired_sweep(
+        "allocation", cells, seed, jobs, progress, keep_going
+    )
 
 
 def format_ablation(result: AblationResult) -> str:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .runner import CapacityCensus
 from .systems import baseline, ida
@@ -84,6 +84,7 @@ def run_capacity_analysis(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> list[CapacityResult]:
     """Compare block census and GC cost, baseline vs IDA-E20."""
     scale = scale or RunScale.bench()
@@ -92,7 +93,10 @@ def run_capacity_analysis(
     for name in names:
         for system in (baseline(), ida(0.2)):
             units.append(RunUnit(system, name, scale, seed=seed, mode="capacity"))
-    censuses = execute_units(units, jobs=jobs, progress=progress)
+    censuses = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, censuses, _ = prune_failed(names, units, censuses, progress)
 
     results = []
     for index, name in enumerate(names):

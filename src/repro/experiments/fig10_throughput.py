@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .systems import baseline, ida
 
@@ -40,6 +40,7 @@ def run_fig10(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> Fig10Result:
     """Closed-loop throughput comparison, baseline vs IDA-E{error_rate}."""
     scale = scale or RunScale.bench()
@@ -57,7 +58,10 @@ def run_fig10(
                     queue_depth=queue_depth,
                 )
             )
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 
     result = Fig10Result()
     for index, name in enumerate(names):

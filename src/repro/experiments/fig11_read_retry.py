@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .runner import normalized_read_response
 from .systems import baseline, ida
@@ -57,6 +57,7 @@ def run_fig11(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> Fig11Result:
     """Compare IDA-E20 vs baseline in each lifetime phase."""
     scale = scale or RunScale.bench()
@@ -80,7 +81,10 @@ def run_fig11(
                     seed=seed,
                 )
             )
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 
     result = Fig11Result(phases=phases)
     pairs = iter(zip(payloads[::2], payloads[1::2]))

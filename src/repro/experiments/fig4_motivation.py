@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import EXTRA_WORKLOADS, TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, failed_workloads
 from .reporting import ascii_table, format_pct
 from .runner import RunResultPayload
 from .systems import baseline
@@ -72,6 +72,7 @@ def run_fig4(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> Fig4Result:
     """Measure the read mix for the main and extra workload panels."""
     scale = scale or RunScale.bench()
@@ -83,13 +84,24 @@ def run_fig4(
         RunUnit(baseline(), name, scale, seed=seed)
         for name in main_names + extra_names
     ]
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    # Both panels draw from one flat unit list, so prune each panel's
+    # name list against the combined failure set rather than re-slicing.
+    failed = failed_workloads(payloads)
+    if failed and progress is not None:
+        for name in sorted(failed):
+            progress(f"keep-going: dropping workload {name!r} (unit failed)")
+    outcome_of = dict(zip(main_names + extra_names, payloads))
 
     result = Fig4Result()
-    for name, payload in zip(main_names, payloads):
-        result.main.append(_row_from_payload(name, payload))
-    for name, payload in zip(extra_names, payloads[len(main_names):]):
-        result.extra.append(_row_from_payload(name, payload))
+    for name in main_names:
+        if name not in failed:
+            result.main.append(_row_from_payload(name, outcome_of[name]))
+    for name in extra_names:
+        if name not in failed:
+            result.extra.append(_row_from_payload(name, outcome_of[name]))
     return result
 
 

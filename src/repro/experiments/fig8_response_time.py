@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .runner import normalized_read_response
 from .systems import baseline, ida
@@ -64,6 +64,7 @@ def run_fig8(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> Fig8Result:
     """Run the Fig. 8 sweep; ``jobs`` fans the runs out over processes."""
     scale = scale or RunScale.bench()
@@ -74,7 +75,10 @@ def run_fig8(
         units.extend(
             RunUnit(ida(rate), name, scale, seed=seed) for rate in error_rates
         )
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 
     result = Fig8Result(error_rates=error_rates)
     stride = 1 + len(error_rates)

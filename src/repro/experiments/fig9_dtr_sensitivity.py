@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .runner import normalized_read_response
 from .systems import baseline, ida
@@ -43,6 +43,7 @@ def run_fig9(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> Fig9Result:
     """Run the dtR sweep; baseline and IDA share each dtR setting."""
     scale = scale or RunScale.bench()
@@ -54,7 +55,10 @@ def run_fig9(
             units.append(
                 RunUnit(ida(error_rate).with_dtr(dtr), name, scale, seed=seed)
             )
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 
     result = Fig9Result(dtr_values=dtr_values)
     pairs = iter(zip(payloads[::2], payloads[1::2]))

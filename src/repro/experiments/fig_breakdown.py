@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .systems import baseline, ida
 
@@ -136,6 +136,7 @@ def run_fig_breakdown(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     tolerance_us: float = 1e-6,
+    keep_going: bool = False,
 ) -> BreakdownResult:
     """Run Baseline vs IDA with profiling and build the attribution table.
 
@@ -151,7 +152,10 @@ def run_fig_breakdown(
         for name in names
         for system in systems
     ]
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 
     result = BreakdownResult(
         system_names=(systems[0].name, systems[1].name),

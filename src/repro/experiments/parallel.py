@@ -3,13 +3,14 @@
 Every reproduced figure and table is a sweep of fully independent
 ``(system, workload, scale, seed)`` simulations — ``run_fig8`` alone is
 11 workloads x 7 systems.  This module turns such a sweep into a list of
-declarative :class:`RunUnit` descriptions and executes them on a
-``multiprocessing`` pool, with results returned **in submission order**.
+declarative :class:`RunUnit` descriptions and executes them on a process
+pool, with results returned **in submission order**.
 
 The determinism contract
 ------------------------
 
-Each unit carries its own seed and each worker constructs its own
+Each unit carries its own seed (and, optionally, its own
+:class:`~repro.faults.FaultPlan`) and each worker constructs its own
 simulator from scratch, so a unit's result is a pure function of the
 unit description.  Parallel execution therefore produces *exactly* the
 same numbers as sequential execution — pinned by
@@ -24,17 +25,35 @@ never do.  Tracing and interval collection are *inline-only* (``jobs=1``,
 the default): a tracer is an open file plus callbacks, neither of which
 can usefully cross a fork, and interleaving events from concurrent runs
 would destroy the per-run ordering the trace inspector relies on.
+
+Hardening
+---------
+
+Long sweeps on shared machines die in three ways the original
+``Pool.imap`` loop turned into a lost afternoon: a worker segfaults (OOM
+killer, native-extension crash), a unit hangs, or one unit raises and
+takes the other 69 results down with it.  :class:`SweepExecutor` now
+takes ``timeout_s`` (per-unit wall-clock budget), ``max_retries`` with
+exponential ``backoff_s`` (crashed/hung workers are retried on a fresh
+pool — unit determinism makes retries safe), and ``keep_going``
+(failures become :class:`SweepError` records *in* the result list
+instead of exceptions, so an artifact keeps every healthy workload).
+Deterministic unit exceptions are never retried — the same unit would
+fail the same way again.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
+from concurrent.futures.process import BrokenProcessPool
 import pickle
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..faults.plan import FaultPlan
 from ..obs.interval import IntervalCollector
 from ..obs.profiler import SimProfiler
 from ..obs.tracer import Tracer
@@ -56,6 +75,8 @@ __all__ = [
     "SweepExecutor",
     "execute_unit",
     "execute_units",
+    "failed_workloads",
+    "prune_failed",
 ]
 
 #: Log-style progress callback: called once per completed unit.
@@ -84,6 +105,10 @@ class RunUnit:
             job count — the profiler is built worker-side (aggregates
             only, no slice events) and only its plain-dict aggregate
             crosses the process boundary.
+        faults: Optional :class:`~repro.faults.FaultPlan` to bind to the
+            run's simulator.  Plans are frozen and picklable, so faulted
+            units fan out exactly like healthy ones; the fault summary
+            rides back on the payload's ``faults`` field.
     """
 
     system: SystemSpec
@@ -93,6 +118,7 @@ class RunUnit:
     mode: str = "open"
     queue_depth: int = 32
     profile: bool = False
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -118,8 +144,12 @@ class RunUnit:
 class SweepError(RuntimeError):
     """A sweep unit failed; ``unit`` identifies which one.
 
-    The worker's original exception is chained as ``__cause__`` and its
-    formatted worker-side traceback is kept in ``details``.
+    For deterministic unit exceptions the worker's original exception is
+    chained as ``__cause__`` and its formatted worker-side traceback is
+    kept in ``details``; for crashes and timeouts ``details`` carries
+    what the executor observed.  In ``keep_going`` mode these objects
+    occupy the failed unit's slot in the result list — check with
+    ``isinstance(outcome, SweepError)`` (or via :func:`prune_failed`).
     """
 
     def __init__(self, unit: RunUnit, message: str, details: str = ""):
@@ -150,6 +180,7 @@ def execute_unit(
             tracer=tracer,
             collector=collector,
             profiler=profiler,
+            faults=unit.faults,
         ).to_payload()
     if unit.mode == "closed":
         return run_workload_closed_loop(
@@ -161,8 +192,11 @@ def execute_unit(
             tracer=tracer,
             collector=collector,
             profiler=profiler,
+            faults=unit.faults,
         ).to_payload()
-    return run_capacity_phase_pair(unit.system, spec, unit.scale, seed=unit.seed)
+    return run_capacity_phase_pair(
+        unit.system, spec, unit.scale, seed=unit.seed, faults=unit.faults
+    )
 
 
 class _WorkerFailure:
@@ -190,9 +224,27 @@ class SweepExecutor:
 
     ``jobs=1`` (the default) runs every unit in-process, which keeps
     tracer / interval-collector support; ``jobs>1`` fans units out to a
-    ``multiprocessing`` pool.  Either way :meth:`map` returns results in
-    submission order and raises :class:`SweepError` on the first failed
-    unit after shutting the pool down cleanly.
+    process pool.  Either way :meth:`map` returns results in submission
+    order.
+
+    Args:
+        jobs: Worker count (1 = inline).
+        progress: Per-completed-unit log callback.
+        mp_context: Multiprocessing context (tests inject one).
+        timeout_s: Per-unit wall-clock budget, measured from when the
+            executor turns to that unit's result (units run concurrently,
+            so time spent waiting on earlier units also covers later
+            ones — the budget bounds the *extra* wait per unit).  A
+            timeout kills the whole pool and re-runs the other in-flight
+            units on a fresh one; determinism makes that free.  Pool
+            mode only — an inline unit cannot be interrupted.
+        max_retries: How many times a unit whose worker *crashed or hung*
+            is retried (fresh pool, exponential backoff).  Deterministic
+            unit exceptions are never retried.
+        backoff_s: Base backoff; retry ``n`` sleeps ``backoff_s * 2**(n-1)``.
+        keep_going: Instead of raising on the first failure, leave a
+            :class:`SweepError` in the failed unit's result slot and
+            finish the rest of the sweep.
     """
 
     def __init__(
@@ -200,19 +252,33 @@ class SweepExecutor:
         jobs: int = 1,
         progress: ProgressFn | None = None,
         mp_context=None,
+        timeout_s: float | None = None,
+        max_retries: int = 0,
+        backoff_s: float = 0.5,
+        keep_going: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.jobs = jobs
         self.progress = progress
         self._mp_context = mp_context
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.keep_going = keep_going
 
     def map(
         self,
         units: Sequence[RunUnit],
         tracer_factory: Callable[[RunUnit], Tracer | None] | None = None,
         collector_factory: Callable[[RunUnit], IntervalCollector | None] | None = None,
-    ) -> list[RunResultPayload | CapacityCensus]:
+    ) -> list[RunResultPayload | CapacityCensus | SweepError]:
         units = list(units)
         for unit in units:
             if not isinstance(unit, RunUnit):
@@ -247,36 +313,112 @@ class SweepExecutor:
                     execute_unit(unit, tracer=tracer, collector=collector)
                 )
             except Exception as exc:
-                raise SweepError(unit, str(exc)) from exc
+                error = SweepError(unit, str(exc), traceback.format_exc())
+                if not self.keep_going:
+                    raise error from exc
+                error.__cause__ = exc
+                results.append(error)
             self._emit(index + 1, total, unit, time.perf_counter() - started)
         return results
 
     def _map_pool(self, units):
+        """Round-based pool execution with crash/timeout containment.
+
+        Each round submits every unresolved unit to a fresh
+        ``ProcessPoolExecutor`` and waits on futures in submission order.
+        A worker crash or unit timeout breaks the pool: the culprit's
+        retry budget is charged, already-finished results are salvaged,
+        the pool is killed, and the next round re-runs the remainder.
+        Unit determinism (each worker rebuilds its simulator from the
+        unit description alone) is what makes re-running units safe.
+        """
         context = self._mp_context or multiprocessing.get_context()
-        pool = context.Pool(processes=min(self.jobs, len(units)))
-        results = []
         total = len(units)
-        try:
-            # imap yields in submission order, which is also the order
-            # callers index results by; chunksize=1 keeps long and short
-            # units balanced across workers.
-            for index, outcome in enumerate(
-                pool.imap(_pool_worker, units, chunksize=1)
-            ):
-                unit = units[index]
-                if isinstance(outcome, _WorkerFailure):
-                    raise SweepError(
-                        unit, str(outcome.exception), outcome.details
-                    ) from outcome.exception
-                results.append(outcome)
-                self._emit(index + 1, total, unit)
-            pool.close()
-            pool.join()
-        finally:
-            # Idempotent after a clean close/join; on the error path this
-            # reaps the workers so no orphan processes outlive the sweep.
-            pool.terminate()
-            pool.join()
+        results: list = [None] * total
+        done = [False] * total
+        attempts = [0] * total
+        completed = 0
+
+        def settle(index: int, outcome) -> None:
+            nonlocal completed
+            if isinstance(outcome, _WorkerFailure):
+                # Deterministic unit exception: never retried.
+                error = SweepError(
+                    units[index], str(outcome.exception), outcome.details
+                )
+                if not self.keep_going:
+                    raise error from outcome.exception
+                error.__cause__ = outcome.exception
+                results[index] = error
+            else:
+                results[index] = outcome
+            done[index] = True
+            completed += 1
+            self._emit(completed, total, units[index])
+
+        while completed < total:
+            pending = [i for i in range(total) if not done[i]]
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)), mp_context=context
+            )
+            crashed: tuple[int, str] | None = None
+            try:
+                futures = {
+                    i: executor.submit(_pool_worker, units[i]) for i in pending
+                }
+                for i in pending:
+                    try:
+                        outcome = futures[i].result(timeout=self.timeout_s)
+                    except concurrent.futures.TimeoutError:
+                        crashed = (i, f"timed out after {self.timeout_s:g}s")
+                        break
+                    except BrokenProcessPool:
+                        crashed = (i, "worker process crashed (pool broken)")
+                        break
+                    settle(i, outcome)
+                if crashed is not None:
+                    # Salvage units that finished before the break: their
+                    # futures already hold results and cost nothing.
+                    for j in pending:
+                        if done[j] or j == crashed[0]:
+                            continue
+                        future = futures[j]
+                        if not future.done() or future.cancelled():
+                            continue
+                        try:
+                            outcome = future.result(timeout=0)
+                        except Exception:
+                            continue
+                        if isinstance(outcome, _WorkerFailure):
+                            continue  # deterministic; re-settles next round
+                        settle(j, outcome)
+            finally:
+                if crashed is not None:
+                    # A hung or crashed worker would make a graceful
+                    # shutdown block; cancel what is queued and terminate
+                    # whatever processes remain.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    procs = getattr(executor, "_processes", None) or {}
+                    for proc in list(procs.values()):
+                        proc.terminate()
+                else:
+                    executor.shutdown(wait=True, cancel_futures=True)
+            if crashed is None:
+                continue
+            index, reason = crashed
+            attempts[index] += 1
+            if attempts[index] > self.max_retries:
+                error = SweepError(
+                    units[index], reason, f"gave up after {attempts[index]} attempt(s)"
+                )
+                if not self.keep_going:
+                    raise error
+                results[index] = error
+                done[index] = True
+                completed += 1
+                self._emit(completed, total, units[index])
+            elif self.backoff_s > 0:
+                time.sleep(self.backoff_s * (2 ** (attempts[index] - 1)))
         return results
 
 
@@ -284,6 +426,59 @@ def execute_units(
     units: Sequence[RunUnit],
     jobs: int = 1,
     progress: ProgressFn | None = None,
-) -> list[RunResultPayload | CapacityCensus]:
+    timeout_s: float | None = None,
+    max_retries: int = 0,
+    backoff_s: float = 0.5,
+    keep_going: bool = False,
+) -> list[RunResultPayload | CapacityCensus | SweepError]:
     """One-shot convenience wrapper around :class:`SweepExecutor`."""
-    return SweepExecutor(jobs=jobs, progress=progress).map(units)
+    return SweepExecutor(
+        jobs=jobs,
+        progress=progress,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        backoff_s=backoff_s,
+        keep_going=keep_going,
+    ).map(units)
+
+
+def failed_workloads(outcomes: Sequence) -> set[str]:
+    """Workload names with at least one :class:`SweepError` outcome."""
+    return {
+        outcome.unit.workload_name
+        for outcome in outcomes
+        if isinstance(outcome, SweepError)
+    }
+
+
+def prune_failed(
+    names: Sequence[str],
+    units: Sequence[RunUnit],
+    outcomes: Sequence,
+    progress: ProgressFn | None = None,
+):
+    """Drop every workload group touched by a failed unit (keep-going).
+
+    Artifact runners build their unit lists grouped per workload, and
+    their post-processing consumes fixed-size groups (baseline/variant
+    pairs, error-rate fans).  When one unit of a group failed the whole
+    group is unusable, so pruning happens at workload granularity: the
+    surviving ``(names, units, outcomes)`` triple keeps its grouping
+    intact and downstream slicing logic works unchanged.
+
+    Returns:
+        ``(kept_names, kept_units, kept_outcomes, errors)``.
+    """
+    errors = [o for o in outcomes if isinstance(o, SweepError)]
+    if not errors:
+        return list(names), list(units), list(outcomes), []
+    failed = {error.unit.workload_name for error in errors}
+    if progress is not None:
+        for name in sorted(failed):
+            progress(f"keep-going: dropping workload {name!r} (unit failed)")
+    kept_names = [name for name in names if name not in failed]
+    kept_units = [u for u in units if u.workload_name not in failed]
+    kept_outcomes = [
+        o for u, o in zip(units, outcomes) if u.workload_name not in failed
+    ]
+    return kept_names, kept_units, kept_outcomes, errors

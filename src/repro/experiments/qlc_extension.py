@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, failed_workloads
 from .reporting import ascii_table
 from .runner import improvement_pct
 from .systems import baseline, ida
@@ -41,6 +41,7 @@ def run_qlc_extension(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> QlcResult:
     """Compare IDA benefit across cell densities / codings."""
     scale = scale or RunScale.bench()
@@ -50,10 +51,20 @@ def run_qlc_extension(
     for dev, name in cells:
         units.append(RunUnit(baseline(dev), name, scale, seed=seed))
         units.append(RunUnit(ida(error_rate, dev), name, scale, seed=seed))
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    # A failure prunes the workload across every device family so the
+    # cross-family comparison always covers one consistent workload set.
+    failed = failed_workloads(payloads)
+    if failed and progress is not None:
+        for name in sorted(failed):
+            progress(f"keep-going: dropping workload {name!r} (unit failed)")
 
     result = QlcResult()
     for index, (dev, name) in enumerate(cells):
+        if name in failed:
+            continue
         base, variant = payloads[2 * index : 2 * index + 2]
         result.improvement_pct.setdefault(dev, {})[name] = improvement_pct(
             variant, base

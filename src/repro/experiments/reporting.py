@@ -122,6 +122,14 @@ def counters_dict(metrics: SimMetrics) -> dict:
         "read_retries": metrics.read_retries,
         "unmapped_reads": metrics.unmapped_reads,
         "phys_ops_dispatched": metrics.phys_ops_dispatched,
+        "program_failures": metrics.program_failures,
+        "erase_failures": metrics.erase_failures,
+        "grown_bad_blocks": metrics.grown_bad_blocks,
+        "uncorrectable_reads": metrics.uncorrectable_reads,
+        "read_reclaims": metrics.read_reclaims,
+        "torn_adjust_recoveries": metrics.torn_adjust_recoveries,
+        "die_failures": metrics.die_failures,
+        "fault_page_moves": metrics.fault_page_moves,
     }
 
 
@@ -149,6 +157,7 @@ def build_run_manifest(
     collector: "IntervalCollector | None" = None,
     trace_path: str | Path | None = None,
     profile: dict | None = None,
+    faults: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
     """Assemble a run manifest from its parts.
@@ -165,6 +174,7 @@ def build_run_manifest(
         collector=collector,
         trace_path=trace_path,
         profile=profile,
+        faults=faults,
         extra=extra,
     )
 
@@ -178,6 +188,7 @@ def _assemble_manifest(
     collector: "IntervalCollector | None" = None,
     trace_path: str | Path | None = None,
     profile: dict | None = None,
+    faults: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
     manifest: dict = {
@@ -195,6 +206,9 @@ def _assemble_manifest(
         # Only profiled runs carry the key: unprofiled manifests stay
         # byte-identical to pre-profiler ones.
         manifest["profile"] = jsonable(profile)
+    if faults is not None:
+        # Same contract: only fault-injected runs carry the key.
+        manifest["faults"] = jsonable(faults)
     if collector is not None:
         manifest["time_series"] = {
             "summary": collector.summary(),
@@ -239,6 +253,11 @@ def manifest_for_run(
         "scale": jsonable(result.scale) if result.scale is not None else None,
         "seed": result.seed,
     }
+    if result.faults is not None:
+        # The plan is part of the run's identity (it changes the
+        # numbers), so it joins the hashed config; the fired events are
+        # observations and ride outside it.
+        config["faults"] = result.faults.get("plan")
     refresh = {
         "blocks_refreshed": len(result.refresh_reports),
         "extra_reads": sum(r.extra_reads for r in result.refresh_reports),
@@ -252,6 +271,7 @@ def manifest_for_run(
         collector=collector,
         trace_path=trace_path,
         profile=result.profile,
+        faults=result.faults,
         extra=_run_extras(
             refresh, result.in_use_blocks, result.ida_blocks, jobs
         ),
@@ -278,6 +298,8 @@ def manifest_for_payload(
         "scale": jsonable(payload.scale) if payload.scale is not None else None,
         "seed": payload.seed,
     }
+    if payload.faults is not None:
+        config["faults"] = payload.faults.get("plan")
     return _assemble_manifest(
         config,
         payload.metrics_summary(),
@@ -286,6 +308,7 @@ def manifest_for_payload(
         collector=collector,
         trace_path=trace_path,
         profile=payload.profile,
+        faults=payload.faults,
         extra=_run_extras(
             payload.refresh, payload.in_use_blocks, payload.ida_blocks, jobs
         ),

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults.plan import FaultPlan
 from ..ftl.gc import GcPolicy
 from ..ftl.refresh import RefreshPolicy, RefreshReport
 from ..obs.histogram import Histogram
@@ -60,6 +61,9 @@ class RunResult:
             output (``aggregate()`` dict) when the run was profiled,
             else ``None`` — absent keys keep unprofiled manifests
             byte-identical to pre-profiler ones.
+        faults: The fault injector's ``summary()`` (plan + fired events)
+            when the run had a :class:`~repro.faults.FaultPlan` bound,
+            else ``None`` — same absent-key discipline as ``profile``.
     """
 
     system: SystemSpec
@@ -73,6 +77,7 @@ class RunResult:
     scale: RunScale | None = None
     seed: int = 11
     profile: dict | None = None
+    faults: dict | None = None
 
     @property
     def mean_read_response_us(self) -> float:
@@ -120,6 +125,7 @@ class RunResultPayload:
     utilisation: dict = field(default_factory=dict)
     queue_wait: dict = field(default_factory=dict)
     profile: dict | None = None
+    faults: dict | None = None
 
     @property
     def mean_read_response_us(self) -> float:
@@ -179,6 +185,7 @@ class RunResultPayload:
             utilisation=result.utilisation,
             queue_wait=result.queue_wait,
             profile=result.profile,
+            faults=result.faults,
         )
 
 
@@ -222,6 +229,7 @@ def build_simulator(
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
     profiler: SimProfiler | None = None,
+    faults: FaultPlan | None = None,
 ) -> SsdSimulator:
     """Assemble a simulator for one system at one scale."""
     dev = _build_device(system, scale)
@@ -244,6 +252,7 @@ def build_simulator(
         tracer=tracer,
         collector=collector,
         profiler=profiler,
+        faults=faults,
     )
 
 
@@ -272,6 +281,7 @@ def run_workload(
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
     profiler: SimProfiler | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Execute one (system, workload) pair end to end."""
     scale = scale or RunScale()
@@ -285,6 +295,7 @@ def run_workload(
         tracer=tracer,
         collector=collector,
         profiler=profiler,
+        faults=faults,
     )
     page_size = sim.geometry.page_size_bytes
 
@@ -329,6 +340,7 @@ def run_workload(
         scale=scale,
         seed=seed,
         profile=sim.profiler.aggregate() if sim.profiler is not None else None,
+        faults=sim.fault_summary(),
     )
 
 
@@ -341,6 +353,7 @@ def run_workload_closed_loop(
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
     profiler: SimProfiler | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Closed-loop variant of :func:`run_workload` (Fig. 10 throughput).
 
@@ -358,6 +371,7 @@ def run_workload_closed_loop(
         tracer=tracer,
         collector=collector,
         profiler=profiler,
+        faults=faults,
     )
     page_size = sim.geometry.page_size_bytes
 
@@ -380,6 +394,7 @@ def run_workload_closed_loop(
         scale=scale,
         seed=seed,
         profile=sim.profiler.aggregate() if sim.profiler is not None else None,
+        faults=sim.fault_summary(),
     )
 
 
@@ -388,6 +403,7 @@ def run_capacity_phase_pair(
     spec: WorkloadSpec,
     scale: RunScale | None = None,
     seed: int = 11,
+    faults: FaultPlan | None = None,
 ) -> CapacityCensus:
     """Read-intensive phase followed by a write-intensive phase.
 
@@ -399,7 +415,7 @@ def run_capacity_phase_pair(
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
-    sim = build_simulator(system, scale, spec.duration_us, seed=seed)
+    sim = build_simulator(system, scale, spec.duration_us, seed=seed, faults=faults)
     page_size = sim.geometry.page_size_bytes
     period = sim.ftl.refresh_policy.period_us
     sim.preload(generated.fill_lpns, -1.4 * period, -0.4 * period)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from ..workloads.msr import TABLE3_REFERENCE, TABLE3_WORKLOADS
 from ..workloads.synthetic import generate_workload
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .systems import baseline
 
@@ -42,12 +42,16 @@ def run_table3(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> Table3Result:
     """Measure the Table III columns for the synthetic clones."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
     units = [RunUnit(baseline(), name, scale, seed=seed) for name in names]
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 
     result = Table3Result()
     for name, payload in zip(names, payloads):

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..workloads.msr import TABLE3_WORKLOADS
 from .config import RunScale
-from .parallel import ProgressFn, RunUnit, execute_units
+from .parallel import ProgressFn, RunUnit, execute_units, prune_failed
 from .reporting import ascii_table
 from .runner import improvement_pct
 from .systems import baseline, ida
@@ -41,6 +41,7 @@ def run_table5(
     seed: int = 11,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    keep_going: bool = False,
 ) -> Table5Result:
     """Measure IDA-E{error_rate} improvements on the given device family."""
     scale = scale or RunScale.bench()
@@ -49,7 +50,10 @@ def run_table5(
     for name in names:
         units.append(RunUnit(baseline(device), name, scale, seed=seed))
         units.append(RunUnit(ida(error_rate, device), name, scale, seed=seed))
-    payloads = execute_units(units, jobs=jobs, progress=progress)
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 
     result = Table5Result(device=device)
     for index, name in enumerate(names):

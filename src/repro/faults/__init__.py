@@ -1,0 +1,37 @@
+"""Deterministic fault injection and recovery invariants (ISSUE 5).
+
+``repro.faults`` scripts *what goes wrong*: a seeded, typed
+:class:`FaultPlan` of program/erase status failures, grown bad blocks,
+uncorrectable reads, die loss and interrupted IDA adjustments, fired
+either at fixed simulated times or on exact op ordinals.  The
+:class:`FaultInjector` arms a plan against a simulator with the same
+zero-cost hook discipline as the profiler, and
+:func:`check_coding_invariants` pins the recovery guarantees — above
+all that a torn IDA reprogram always resolves to one coding or the
+other.  See ``docs/faults.md``.
+"""
+
+from .injector import FaultedOp, FaultInjector
+from .invariants import check_coding_invariants
+from .plan import (
+    OP_KIND_OF,
+    TIMED_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    load_plan,
+    save_plan,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultedOp",
+    "check_coding_invariants",
+    "load_plan",
+    "save_plan",
+    "OP_KIND_OF",
+    "TIMED_KINDS",
+]

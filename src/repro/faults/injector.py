@@ -1,0 +1,204 @@
+"""The fault injector: arms a :class:`FaultPlan` against a simulator.
+
+The injector hooks the simulator exactly the way the profiler does —
+one ``is None`` check per op dispatch and per stage boundary — so a run
+without a plan pays nothing (the fig8 golden parity test pins this).
+With a plan bound it does three things:
+
+* **trigger** — counts dispatched ops per kind and matches them against
+  the plan's ordinals, and schedules the timed events (grown bad, die
+  loss) on the simulation engine at bind time;
+* **recover** — when a faulted op *completes*, routes it to the FTL's
+  graceful-degradation handler and issues whatever relocation work that
+  returns as internal background ops;
+* **record** — appends one JSON-able record per fired fault (including
+  the faulted op's per-stage timing, captured zero-copy at the pipeline
+  stage boundaries) to a deterministic event stream that flows into run
+  manifests and, when tracing is on, the structured tracer.
+
+Everything here is duck-typed against the simulator (``bind(sim)``)
+rather than imported from :mod:`repro.sim`, keeping the package free of
+import cycles.
+"""
+
+from __future__ import annotations
+
+from .plan import OP_KIND_OF, TIMED_KINDS, FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultInjector", "FaultedOp"]
+
+
+class FaultedOp:
+    """Per-op context for an op the plan marked as failing.
+
+    The op pipeline calls :meth:`note_stage` at every stage boundary
+    (mirroring the profiler hook), so the fault record shows exactly
+    where the doomed op spent its time before the failure surfaced.
+    """
+
+    __slots__ = ("event", "op", "dispatch_us", "stages")
+
+    def __init__(self, event: FaultEvent, op, dispatch_us: float) -> None:
+        self.event = event
+        self.op = op
+        self.dispatch_us = dispatch_us
+        self.stages: list[tuple[str, float, float]] = []
+
+    def note_stage(
+        self, stage, submit_us: float, start_us: float, end_us: float
+    ) -> None:
+        self.stages.append((stage.name, start_us, end_us))
+
+
+class FaultInjector:
+    """Deterministic fault triggering, recovery routing and recording."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.sim = None
+        #: Deterministic fault-event stream (JSON-able dicts, in firing
+        #: order) — compared byte-for-byte by the parity tests.
+        self.events: list[dict] = []
+        self.fired: dict[str, int] = {kind.value: 0 for kind in FaultKind}
+        self.fired["read_reclaim"] = 0
+        # Op-coupled events keyed by (op-kind value, ordinal).
+        self._pending: dict[str, dict[int, FaultEvent]] = {}
+        for event in plan.events:
+            if event.kind in TIMED_KINDS:
+                continue
+            op_kind = OP_KIND_OF[event.kind]
+            self._pending.setdefault(op_kind, {})[event.op_ordinal] = event
+        self._seen = {value: 0 for value in OP_KIND_OF.values()}
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind(self, sim) -> None:
+        """Attach to a simulator: arm FTL recovery, schedule timed events."""
+        self.sim = sim
+        sim.ftl.enable_fault_recovery(self.plan.read_reclaim_threshold)
+        for event in self.plan.events:
+            if event.kind in TIMED_KINDS:
+                sim.engine.at(event.at_us, lambda e=event: self._fire_timed(e))
+
+    # ------------------------------------------------------------------
+    # Triggering (called from SsdSimulator._issue, faults-enabled only)
+    # ------------------------------------------------------------------
+    def on_dispatch(self, op, host_read: bool) -> FaultedOp | None:
+        """Count a dispatched op; return a context if the plan fails it.
+
+        UNCORRECTABLE_READ ordinals index *host* reads only — internal
+        (GC/refresh/recovery) reads pass through uncounted.
+        """
+        op_kind = op.kind.value
+        if op_kind == "read" and not host_read:
+            return None
+        if op_kind not in self._seen:
+            return None
+        self._seen[op_kind] += 1
+        pending = self._pending.get(op_kind)
+        if not pending:
+            return None
+        event = pending.pop(self._seen[op_kind], None)
+        if event is None:
+            return None
+        return FaultedOp(event, op, self.sim.engine.now)
+
+    def wrap_completion(self, ctx: FaultedOp, inner):
+        """Completion callback running recovery before the original one."""
+
+        def completion(start_us: float, end_us: float) -> None:
+            self._recover(ctx, end_us)
+            inner(start_us, end_us)
+
+        return completion
+
+    def wrap_adjust_commit(self, op, inner):
+        """Completion callback committing a *clean* adjust's journal entry."""
+
+        def completion(start_us: float, end_us: float) -> None:
+            self.sim.ftl.commit_adjust(op.block_index, op.wordline)
+            inner(start_us, end_us)
+
+        return completion
+
+    def note_read_retries(self, op, retries: int) -> None:
+        """Feed host-read retry counts into STRAW-style read reclaim."""
+        now = self.sim.engine.now
+        ops = self.sim.ftl.note_read_retries(op.block_index, retries, now)
+        if ops:
+            self._record(
+                "read_reclaim",
+                now,
+                block=op.block_index,
+                recovery_ops=len(ops),
+            )
+            self.sim.issue_internal_sequence(ops)
+
+    # ------------------------------------------------------------------
+    # Recovery routing
+    # ------------------------------------------------------------------
+    def _recover(self, ctx: FaultedOp, now_us: float) -> None:
+        event, op = ctx.event, ctx.op
+        ftl = self.sim.ftl
+        kind = event.kind
+        if kind is FaultKind.PROGRAM_FAIL:
+            ops = ftl.on_program_failure(op.block_index, op.page, now_us)
+        elif kind is FaultKind.ERASE_FAIL:
+            ops = ftl.on_erase_failure(op.block_index, now_us)
+        elif kind is FaultKind.UNCORRECTABLE_READ:
+            ops = ftl.on_uncorrectable_read(op.block_index, op.page, now_us)
+        else:  # ADJUST_INTERRUPT
+            ops = ftl.on_adjust_interrupted(op.block_index, op.wordline, now_us)
+        self._record(
+            kind.value,
+            now_us,
+            op_ordinal=event.op_ordinal,
+            block=op.block_index,
+            page=op.page,
+            wordline=op.wordline,
+            recovery_ops=len(ops),
+            stages=ctx.stages,
+        )
+        if ops:
+            self.sim.issue_internal_sequence(ops)
+
+    def _fire_timed(self, event: FaultEvent) -> None:
+        now = self.sim.engine.now
+        ftl = self.sim.ftl
+        if event.kind is FaultKind.GROWN_BAD:
+            # Hand-written plans may target blocks beyond a scaled-down
+            # device; wrap rather than crash so plans port across scales.
+            block = event.block % self.sim.geometry.total_blocks
+            ops = ftl.retire_block(block, now)
+            self._record(
+                event.kind.value, now, block=block, recovery_ops=len(ops)
+            )
+        else:  # DIE_FAIL
+            die = event.die % self.sim.geometry.total_dies
+            ops = ftl.fail_die(die, now)
+            self._record(event.kind.value, now, die=die, recovery_ops=len(ops))
+        if ops:
+            self.sim.issue_internal_sequence(ops)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, now_us: float, **fields) -> None:
+        self.fired[kind] += 1
+        entry: dict = {"kind": kind, "t_us": now_us}
+        entry.update({k: v for k, v in fields.items() if v is not None})
+        self.events.append(entry)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            payload = {k: v for k, v in entry.items() if k != "kind"}
+            del payload["t_us"]
+            tracer.emit(now_us, "fault", fault_kind=kind, **payload)
+
+    def summary(self) -> dict:
+        """JSON-able account of the plan and everything that fired."""
+        return {
+            "plan": self.plan.to_dict(),
+            "fired": dict(self.fired),
+            "events": [dict(event) for event in self.events],
+        }

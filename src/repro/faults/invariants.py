@@ -1,0 +1,84 @@
+"""Post-run coding and mapping invariants the fault paths must preserve.
+
+The central one is the *torn-reprogram* invariant (ISSUE 5): an IDA
+voltage adjustment interrupted mid-refresh must leave the wordline in
+either the old or the new coding — never the in-between
+:data:`~repro.flash.block.TORN_WL` state, whose cells straddle two
+codings and cannot be sensed.  Recovery rolls *forward* (the journaled
+intent names the target mode and the pages riding on the wordline), so
+at rest no wordline is ever torn.  The checker also pins the supporting
+invariants graceful degradation relies on: every valid page is readable
+under its wordline's mode, the page map only points at valid pages,
+retired (grown-bad) blocks hold no live data, and no adjust-journal
+intent is left uncommitted.
+"""
+
+from __future__ import annotations
+
+from ..flash.block import CONVENTIONAL_WL, TORN_WL, PageState
+
+__all__ = ["check_coding_invariants"]
+
+
+def check_coding_invariants(ftl) -> list[str]:
+    """Scan an FTL's device state; return human-readable violations.
+
+    An empty list means every invariant holds.  Duck-typed against
+    :class:`~repro.ftl.ftl.Ftl` (anything with ``table``, ``map`` and the
+    fault-recovery attributes works).
+    """
+    violations: list[str] = []
+    table = ftl.table
+    sense_table = table.sense_table
+
+    for block in table.blocks:
+        for wordline in range(block.wordlines):
+            mode = block.wl_mode(wordline)
+            if mode == TORN_WL:
+                violations.append(
+                    f"block {block.index} wordline {wordline} left torn "
+                    "(interrupted IDA reprogram was not resolved)"
+                )
+            elif mode != CONVENTIONAL_WL and not 1 <= mode < block.bits_per_cell:
+                violations.append(
+                    f"block {block.index} wordline {wordline} has invalid "
+                    f"mode {mode:#x}"
+                )
+        for page in block.valid_pages():
+            try:
+                block.senses_for(sense_table, page)
+            except KeyError:
+                violations.append(
+                    f"block {block.index} page {page} is valid but "
+                    "unreadable under its wordline mode"
+                )
+
+    # The page map must only point at valid pages (and agree with the
+    # reverse map, which PageMap itself guarantees).
+    for lpn, ppn in ftl.map._forward.items():
+        block, page = table.block_of_ppn(ppn)
+        if block.state_of(page) is not PageState.VALID:
+            violations.append(
+                f"LPN {lpn} maps to PPN {ppn} whose page state is "
+                f"{block.state_of(page).name}, not VALID"
+            )
+
+    # Retired (grown-bad / dead-die) blocks must have been evacuated.
+    for pool in table.planes:
+        for in_plane in sorted(pool.retired):
+            block = pool.block(in_plane)
+            if block.valid_count:
+                violations.append(
+                    f"retired block {block.index} still holds "
+                    f"{block.valid_count} valid pages"
+                )
+
+    # Every journaled adjust intent must be committed or recovered.
+    journal = getattr(ftl, "_journal", None)
+    if journal:
+        for block_index, wordline in sorted(journal):
+            violations.append(
+                f"uncommitted adjust-journal intent for block {block_index} "
+                f"wordline {wordline}"
+            )
+    return violations

@@ -1,6 +1,6 @@
 """Flash device substrate: geometry, timing, cells, blocks, error models."""
 
-from .block import CONVENTIONAL_WL, Block, PageState, SenseTable
+from .block import CONVENTIONAL_WL, TORN_WL, Block, PageState, SenseTable
 from .cell import ERASED_STATE, WordlineCells
 from .chip import CellChip
 from .errors import AdjustDisturbModel, RberModel, ReadRetryModel
@@ -12,6 +12,7 @@ from .voltage import StateDistribution, VoltageModel
 
 __all__ = [
     "CONVENTIONAL_WL",
+    "TORN_WL",
     "Block",
     "PageState",
     "SenseTable",

@@ -17,7 +17,7 @@ from enum import IntEnum
 from ..core.coding import GrayCoding
 from ..core.ida import IdaTransform
 
-__all__ = ["PageState", "SenseTable", "Block", "CONVENTIONAL_WL"]
+__all__ = ["PageState", "SenseTable", "Block", "CONVENTIONAL_WL", "TORN_WL"]
 
 
 class PageState(IntEnum):
@@ -30,6 +30,13 @@ class PageState(IntEnum):
 
 #: Sentinel wordline mode: programmed with the conventional coding.
 CONVENTIONAL_WL = 0xFF
+
+#: Sentinel wordline mode: an IDA reprogram was interrupted mid-adjust and
+#: the cells sit between the old and new coding.  A torn wordline is
+#: *unreadable* (``SenseTable.senses`` raises) — fault recovery must
+#: resolve it to one coding or the other before anything reads it, which
+#: is exactly what :func:`repro.faults.check_coding_invariants` pins.
+TORN_WL = 0xFE
 
 
 class SenseTable:
@@ -65,6 +72,11 @@ class SenseTable:
         """
         if wl_mode == CONVENTIONAL_WL:
             return self.conventional[bit]
+        if wl_mode == TORN_WL:
+            raise KeyError(
+                "wordline is torn (interrupted IDA reprogram); "
+                "recovery must resolve its coding before reads"
+            )
         return self._ida[wl_mode][bit]
 
     def transform_for(self, start: int) -> IdaTransform:
@@ -197,6 +209,22 @@ class Block:
             raise ValueError(f"invalid kept-suffix start bit {start_bit}")
         self.wl_modes[wordline] = start_bit
         self.is_ida = True
+
+    def mark_wordline_torn(self, wordline: int) -> None:
+        """An adjustment of this wordline was interrupted mid-reprogram."""
+        self.wl_modes[wordline] = TORN_WL
+
+    def resolve_wordline(self, wordline: int, mode: int) -> None:
+        """Land a torn wordline in a definite coding (fault recovery).
+
+        Args:
+            mode: :data:`CONVENTIONAL_WL` or a kept-suffix start bit —
+                never :data:`TORN_WL`; recovery must *resolve*, not
+                re-tear.
+        """
+        if mode != CONVENTIONAL_WL and not 1 <= mode < self.bits_per_cell:
+            raise ValueError(f"cannot resolve wordline to mode {mode:#x}")
+        self.wl_modes[wordline] = mode
 
     def erase(self) -> None:
         """Erase the block: all pages free, wear counter bumped."""

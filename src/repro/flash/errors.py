@@ -79,6 +79,10 @@ class RberModel:
     def __post_init__(self) -> None:
         if self.base_rber <= 0:
             raise ValueError("base_rber must be positive")
+        if self.wear_exponent < 0:
+            raise ValueError("wear_exponent must be non-negative")
+        if self.retention_slope < 0:
+            raise ValueError("retention_slope must be non-negative")
         if self.rated_pe_cycles < 1:
             raise ValueError("rated_pe_cycles must be >= 1")
 
@@ -153,6 +157,12 @@ class ReadRetryModel:
         below it decodes always succeed; well above it most reads need
         retries.
         """
+        if rber < 0:
+            raise ValueError("rber must be non-negative")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if sharpness <= 0:
+            raise ValueError("sharpness must be positive")
         fail = 1.0 / (1.0 + math.exp(-sharpness * (rber - threshold)))
         return cls(fail_prob=min(0.95, fail))
 

@@ -28,6 +28,10 @@ class PlanePool:
             or ``None`` when a fresh one must be opened.
         used: In-plane indices of fully- or partially-programmed blocks
             that are not the active block.
+        retired: In-plane indices of grown-bad blocks — permanently out
+            of rotation (never free, never allocated, never a GC or
+            refresh candidate).  Retirement shrinks the plane's usable
+            capacity; only fault-injection paths populate this.
     """
 
     plane_index: int
@@ -35,10 +39,12 @@ class PlanePool:
     free: deque[int] = field(init=False)
     active: int | None = field(default=None, init=False)
     used: set[int] = field(init=False)
+    retired: set[int] = field(init=False)
 
     def __post_init__(self) -> None:
         self.free = deque(range(len(self.blocks)))
         self.used = set()
+        self.retired = set()
 
     # ------------------------------------------------------------------
     # Queries
@@ -89,6 +95,11 @@ class PlanePool:
 
     def release(self, in_plane_index: int) -> None:
         """Return an erased block to the free list."""
+        if in_plane_index in self.retired:
+            raise RuntimeError(
+                f"block {in_plane_index} of plane {self.plane_index} is "
+                "retired (grown bad) and cannot rejoin the free list"
+            )
         block = self.blocks[in_plane_index]
         if block.next_page and block.valid_count:
             raise RuntimeError("cannot release a block holding valid data")
@@ -100,3 +111,32 @@ class PlanePool:
     def gc_candidates(self) -> list[Block]:
         """Blocks eligible as GC victims (used, not the active block)."""
         return [self.blocks[i] for i in self.used]
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+    def retire(self, in_plane_index: int) -> None:
+        """Take a grown-bad block out of rotation permanently.
+
+        The block leaves whichever set currently holds it (free, used or
+        active); it will never be allocated, GC'd or refreshed again.
+        The caller is responsible for having migrated any valid data off
+        the block first.
+        """
+        if in_plane_index in self.retired:
+            return
+        self.retired.add(in_plane_index)
+        self.used.discard(in_plane_index)
+        if self.active == in_plane_index:
+            self.active = None
+        try:
+            self.free.remove(in_plane_index)
+        except ValueError:
+            pass
+
+    def is_retired(self, in_plane_index: int) -> bool:
+        return in_plane_index in self.retired
+
+    @property
+    def retired_count(self) -> int:
+        return len(self.retired)

@@ -64,3 +64,26 @@ class StaticAllocator:
         plane = self.order[self._cursor]
         self._cursor = (self._cursor + 1) % len(self.order)
         return plane
+
+    def remove_planes(self, planes: list[int]) -> None:
+        """Drop failed planes from the stripe rotation (die loss).
+
+        The cursor keeps pointing at the same *surviving* plane it would
+        have selected next, so allocation stays deterministic across the
+        removal.
+
+        Raises:
+            RuntimeError: if removal would leave no planes to write to.
+        """
+        doomed = set(planes)
+        if not doomed.intersection(self.order):
+            return
+        survivors = [plane for plane in self.order if plane not in doomed]
+        if not survivors:
+            raise RuntimeError(
+                "cannot remove every plane from the allocation rotation"
+            )
+        rotation = self.order[self._cursor :] + self.order[: self._cursor]
+        next_survivor = next(p for p in rotation if p not in doomed)
+        self.order = survivors
+        self._cursor = survivors.index(next_survivor)

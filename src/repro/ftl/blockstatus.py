@@ -86,3 +86,7 @@ class BlockStatusTable:
 
     def free_blocks(self) -> int:
         return sum(pool.free_count for pool in self.planes)
+
+    def retired_blocks(self) -> int:
+        """Grown-bad blocks permanently out of rotation (fault paths)."""
+        return sum(pool.retired_count for pool in self.planes)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.coding import GrayCoding
-from ..flash.block import CONVENTIONAL_WL, Block
+from ..flash.block import CONVENTIONAL_WL, Block, PageState
 from ..flash.errors import AdjustDisturbModel
 from ..flash.geometry import Geometry
 from ..flash.plane import PlanePool
@@ -73,6 +73,16 @@ class Ftl:
         self.counters = FtlCounters()
         self.refresh_reports: list[RefreshReport] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Fault-recovery state.  ``_journal`` doubles as the enable flag
+        # (``None`` = faults off, the zero-cost default): recording adjust
+        # intents, grown-bad blocks and read-retry pressure only happens
+        # when a FaultPlan is bound to the simulator.
+        self.grown_bad: list[int] = []
+        self._journal: dict[tuple[int, int], tuple[int, tuple[int, ...]]] | None = (
+            None
+        )
+        self._read_reclaim_threshold: int | None = None
+        self._retry_pressure: dict[int, int] = {}
 
     @property
     def scan_interval_us(self) -> float:
@@ -167,7 +177,20 @@ class Ftl:
         for wl_plan in plan.adjusted_wordlines:
             start_bit = wl_plan.decision.adjust_bits[0]
             block.set_wordline_ida(wl_plan.wordline, start_bit)
-            ops.append(PhysOp(kind=OpKind.ADJUST, block_index=block.index))
+            if self._journal is not None:
+                # Intent record for torn-reprogram recovery: which mode the
+                # adjust lands in and which pages ride on the wordline.
+                self._journal[(block.index, wl_plan.wordline)] = (
+                    start_bit,
+                    tuple(wl_plan.pages_to_keep),
+                )
+            ops.append(
+                PhysOp(
+                    kind=OpKind.ADJUST,
+                    block_index=block.index,
+                    wordline=wl_plan.wordline,
+                )
+            )
             report.n_adjusted_wordlines += 1
             self.counters.refresh_adjusted_wordlines += 1
             kept_pages.extend(wl_plan.pages_to_keep)
@@ -213,6 +236,206 @@ class Ftl:
                 n_error=report.n_error,
                 n_adjusted_wordlines=report.n_adjusted_wordlines,
             )
+        return ops
+
+    # ------------------------------------------------------------------
+    # Fault recovery (graceful degradation)
+    # ------------------------------------------------------------------
+    # These paths only run when a FaultPlan is bound to the simulator.
+    # Because metadata transitions are eager (applied at dispatch) while
+    # faults strike at op *completion*, every handler re-checks current
+    # page state before acting: the page a failing program carried may
+    # already have been invalidated by a newer host write, the block an
+    # erase failed on may hold fresh data, and so on.
+
+    def enable_fault_recovery(self, read_reclaim_threshold: int | None = None) -> None:
+        """Arm the recovery paths (called by the fault injector's bind)."""
+        self._journal = {}
+        self._read_reclaim_threshold = read_reclaim_threshold
+
+    def commit_adjust(self, block_index: int, wordline: int | None) -> None:
+        """A voltage adjustment completed cleanly; drop its intent record."""
+        if self._journal is not None and wordline is not None:
+            self._journal.pop((block_index, wordline), None)
+
+    def on_program_failure(
+        self, block_index: int, page: int | None, now_us: float
+    ) -> list[PhysOp]:
+        """A page program reported status failure.
+
+        The block is retired (program failure is the classic grown-bad
+        trigger), the in-flight page is replayed from the controller's
+        write buffer to a fresh block, and any other live data is
+        evacuated read+write.
+        """
+        self.counters.program_failures += 1
+        block = self.table.blocks[block_index]
+        pool = self.table.plane_of_block(block_index)
+        in_plane = block_index - pool.plane_index * self.geometry.blocks_per_plane
+        already_retired = pool.is_retired(in_plane)
+        if not already_retired:
+            pool.retire(in_plane)
+            self.grown_bad.append(block_index)
+            self.counters.grown_bad_blocks += 1
+        ops: list[PhysOp] = []
+        # Replay the failed page itself: its data is still buffered in the
+        # controller, so no read is charged, just the fresh program.
+        if page is not None and block.state_of(page) is PageState.VALID:
+            ops.append(self._move_page(block, page, now_us, ops))
+            self.counters.fault_page_moves += 1
+        # Evacuate whatever else is still live (read back, then rewrite).
+        for other in block.valid_pages():
+            ops.append(self._internal_read_op(block, other))
+            ops.append(self._move_page(block, other, now_us, ops))
+            self.counters.fault_page_moves += 1
+        return ops
+
+    def on_erase_failure(self, block_index: int, now_us: float) -> list[PhysOp]:
+        """A block erase reported status failure; retire the block."""
+        self.counters.erase_failures += 1
+        return self.retire_block(block_index, now_us)
+
+    def retire_block(self, block_index: int, now_us: float) -> list[PhysOp]:
+        """Grown-bad retirement: evacuate live data, drop from rotation.
+
+        Idempotent — retiring an already-retired block is a no-op, so a
+        timed GROWN_BAD event can land on a block a program failure
+        already condemned.
+        """
+        block = self.table.blocks[block_index]
+        pool = self.table.plane_of_block(block_index)
+        in_plane = block_index - pool.plane_index * self.geometry.blocks_per_plane
+        if pool.is_retired(in_plane):
+            return []
+        pool.retire(in_plane)
+        self.grown_bad.append(block_index)
+        self.counters.grown_bad_blocks += 1
+        ops: list[PhysOp] = []
+        for page in block.valid_pages():
+            ops.append(self._internal_read_op(block, page))
+            ops.append(self._move_page(block, page, now_us, ops))
+            self.counters.fault_page_moves += 1
+        return ops
+
+    def fail_die(self, die_index: int, now_us: float) -> list[PhysOp]:
+        """A whole die dropped out.
+
+        Its planes leave the allocation rotation first (so the rebuild
+        writes below cannot land on the dying die), then every live page
+        is rewritten elsewhere from its outer-protection reconstruction —
+        the die cannot be read back, so no read ops are charged — and all
+        its blocks are retired.
+        """
+        self.counters.die_failures += 1
+        planes = [
+            plane
+            for plane in range(self.geometry.total_planes)
+            if self.geometry.die_of_plane(plane) == die_index
+        ]
+        self.allocator.remove_planes(planes)
+        ops: list[PhysOp] = []
+        for plane_index in planes:
+            pool = self.table.planes[plane_index]
+            for block in list(pool.used_blocks()):
+                for page in block.valid_pages():
+                    ops.append(self._move_page(block, page, now_us, ops))
+                    self.counters.fault_page_moves += 1
+            for in_plane in range(pool.total_blocks):
+                pool.retire(in_plane)
+        return ops
+
+    def on_uncorrectable_read(
+        self, block_index: int, page: int | None, now_us: float
+    ) -> list[PhysOp]:
+        """A host read exhausted the retry ladder and still failed.
+
+        The sector is rebuilt from outer protection (RAID-style parity
+        across dies — modelled as free, only the relocation program is
+        charged) and rewritten to a healthy location.
+        """
+        self.counters.uncorrectable_reads += 1
+        block = self.table.blocks[block_index]
+        ops: list[PhysOp] = []
+        if (
+            page is not None
+            and not block.locked
+            and block.state_of(page) is PageState.VALID
+        ):
+            ops.append(self._move_page(block, page, now_us, ops))
+            self.counters.fault_page_moves += 1
+        return ops
+
+    def note_read_retries(
+        self, block_index: int, retries: int, now_us: float
+    ) -> list[PhysOp]:
+        """Accumulate read-retry pressure; reclaim past the threshold.
+
+        STRAW-style read reclaim: once a block's cumulative host-read
+        retry count crosses the plan's threshold, its live data migrates
+        to fresh blocks (read + write each) and the pressure resets.  The
+        drained block is reclaimed by ordinary GC.
+        """
+        if self._read_reclaim_threshold is None or retries <= 0:
+            return []
+        pressure = self._retry_pressure.get(block_index, 0) + retries
+        self._retry_pressure[block_index] = pressure
+        if pressure < self._read_reclaim_threshold:
+            return []
+        block = self.table.blocks[block_index]
+        if block.locked or block.valid_count == 0:
+            return []
+        self._retry_pressure[block_index] = 0
+        self.counters.read_reclaims += 1
+        ops: list[PhysOp] = []
+        block.locked = True
+        try:
+            for page in block.valid_pages():
+                ops.append(self._internal_read_op(block, page))
+                ops.append(self._move_page(block, page, now_us, ops))
+                self.counters.fault_page_moves += 1
+        finally:
+            block.locked = False
+        return ops
+
+    def on_adjust_interrupted(
+        self, block_index: int, wordline: int | None, now_us: float
+    ) -> list[PhysOp]:
+        """An IDA reprogram was cut short mid-adjust (torn wordline).
+
+        Roll-forward recovery: the journal holds the intended mode and the
+        pages kept on the wordline.  Surviving kept pages are rewritten
+        elsewhere from their buffered copies (the refresh flow had just
+        read and decoded them — steps 1-2 of Fig. 7), then the wordline is
+        resolved to the *intended* coding.  The wordline is therefore
+        never left torn: it lands in exactly one of the two codings, which
+        is the invariant ``check_coding_invariants`` pins.
+        """
+        block = self.table.blocks[block_index]
+        ops: list[PhysOp] = []
+        if wordline is None:
+            return ops
+        intent = None
+        if self._journal is not None:
+            intent = self._journal.pop((block_index, wordline), None)
+        if intent is None:
+            return ops
+        start_bit, kept_pages = intent
+        if block.wl_mode(wordline) != start_bit:
+            # The block was erased (and possibly reused) while the adjust
+            # op was in flight; the eager wordline state was superseded
+            # and there is nothing left to tear.
+            return ops
+        self.counters.torn_adjust_recoveries += 1
+        block.mark_wordline_torn(wordline)
+        block.locked = True
+        try:
+            for page in kept_pages:
+                if block.state_of(page) is PageState.VALID:
+                    ops.append(self._move_page(block, page, now_us, ops))
+                    self.counters.fault_page_moves += 1
+        finally:
+            block.locked = False
+        block.resolve_wordline(wordline, start_bit)
         return ops
 
     # ------------------------------------------------------------------

@@ -53,6 +53,8 @@ class PhysOp:
             accounting (READ only).
         from_ida: Whether a READ is served from an IDA-reprogrammed
             wordline.
+        wordline: Wordline an ADJUST targets — fault recovery needs it to
+            resolve a torn reprogram; ``None`` for other kinds.
     """
 
     kind: OpKind
@@ -62,6 +64,7 @@ class PhysOp:
     bit: int | None = None
     wl_validity: tuple[bool, ...] | None = None
     from_ida: bool = False
+    wordline: int | None = None
 
 
 @dataclass
@@ -92,6 +95,15 @@ class FtlCounters:
     host_writes: int = 0
     host_reads: int = 0
     unmapped_reads: int = 0
+    # Fault handling (all zero unless a FaultPlan is active).
+    program_failures: int = 0
+    erase_failures: int = 0
+    grown_bad_blocks: int = 0
+    uncorrectable_reads: int = 0
+    read_reclaims: int = 0
+    torn_adjust_recoveries: int = 0
+    die_failures: int = 0
+    fault_page_moves: int = 0
 
 
 @runtime_checkable

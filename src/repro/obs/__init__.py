@@ -23,12 +23,6 @@ from .inspect import (
     summarize_trace,
 )
 from .interval import IntervalCollector, IntervalSnapshot
-from .profiler import (
-    ProfiledOp,
-    ProfiledRequest,
-    SimProfiler,
-    validate_chrome_trace,
-)
 from .tracer import (
     NULL_TRACER,
     SCHEMA_VERSION,
@@ -65,3 +59,20 @@ __all__ = [
     "format_trace_summary",
     "format_last_spans",
 ]
+
+# The profiler pulls in :mod:`repro.sim.resources`, and importing any
+# ``repro.sim`` submodule runs the ``repro.sim`` package init — which
+# imports the simulator, which imports the FTL, which imports this
+# package.  Loading the profiler lazily (PEP 562) keeps that loop open
+# so ``import repro.ftl`` works on its own in a fresh interpreter.
+_PROFILER_NAMES = frozenset(
+    {"SimProfiler", "ProfiledOp", "ProfiledRequest", "validate_chrome_trace"}
+)
+
+
+def __getattr__(name: str):
+    if name in _PROFILER_NAMES:
+        from . import profiler
+
+        return getattr(profiler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

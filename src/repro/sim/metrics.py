@@ -176,6 +176,15 @@ class SimMetrics:
     read_retries: int = 0
     unmapped_reads: int = 0
     phys_ops_dispatched: int = 0
+    # Fault handling (all zero unless a FaultPlan is active).
+    program_failures: int = 0
+    erase_failures: int = 0
+    grown_bad_blocks: int = 0
+    uncorrectable_reads: int = 0
+    read_reclaims: int = 0
+    torn_adjust_recoveries: int = 0
+    die_failures: int = 0
+    fault_page_moves: int = 0
 
     @property
     def elapsed_us(self) -> float:

@@ -295,6 +295,11 @@ class OpPipeline:
             (:class:`~repro.obs.profiler.ProfiledOp`) fed the same stage
             boundaries plus resource identity; unprofiled runs pay one
             ``is None`` check per boundary, exactly like ``record``.
+        fault: Optional fault-injection op context
+            (:class:`~repro.faults.injector.FaultedOp`) — present only on
+            the (rare) ops a bound FaultPlan marked as failing, fed the
+            same stage boundaries; fault-free runs pay the same single
+            ``is None`` check as ``record`` and ``profile``.
     """
 
     __slots__ = (
@@ -306,6 +311,7 @@ class OpPipeline:
         "span",
         "record",
         "profile",
+        "fault",
         "_index",
         "_submit_us",
         "_last_start_us",
@@ -321,6 +327,7 @@ class OpPipeline:
         span: RequestSpan | None = None,
         record: PageRecord | None = None,
         profile=None,
+        fault=None,
     ) -> None:
         if not stages:
             raise ValueError("a pipeline needs at least one stage")
@@ -332,6 +339,7 @@ class OpPipeline:
         self.span = span
         self.record = record
         self.profile = profile
+        self.fault = fault
         self._index = 0
         self._submit_us = 0.0
         self._last_start_us = 0.0
@@ -360,6 +368,8 @@ class OpPipeline:
             )
         if self.profile is not None:
             self.profile.note_stage(stage, self._submit_us, start_us, end_us)
+        if self.fault is not None:
+            self.fault.note_stage(stage, self._submit_us, start_us, end_us)
         if stage.resource is not None:
             self._last_start_us = start_us
         self._index += 1

@@ -32,6 +32,8 @@ from typing import Iterable
 import numpy as np
 
 from ..core.coding import GrayCoding
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..flash.errors import ReadRetryModel
 from ..flash.geometry import Geometry
 from ..flash.timing import TimingSpec
@@ -92,6 +94,13 @@ class SsdSimulator:
             bound like the collector and fed stage boundaries, request
             completions and (via the collector's cadence) interval
             samples.  Passive — ``None`` costs one check per boundary.
+        faults: Optional :class:`~repro.faults.FaultPlan`; when given, a
+            :class:`~repro.faults.FaultInjector` is bound to this
+            simulator (timed events scheduled, FTL recovery armed, op
+            dispatch matched against the plan's ordinals).  ``None`` —
+            the default — costs one ``is None`` check per dispatched op,
+            the same zero-cost off-path discipline as the observability
+            hooks.
     """
 
     def __init__(
@@ -108,6 +117,7 @@ class SsdSimulator:
         tracer: Tracer | None = None,
         collector: IntervalCollector | None = None,
         profiler=None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
@@ -167,6 +177,9 @@ class SsdSimulator:
             # attributes latency, it just has no timeline.
             if self.profiler is not None:
                 self.collector.attach_profiler(self.profiler)
+        self.faults = FaultInjector(faults) if faults is not None else None
+        if self.faults is not None:
+            self.faults.bind(self)
 
     # ------------------------------------------------------------------
     # Preconditioning
@@ -341,6 +354,11 @@ class SsdSimulator:
         die_index, die, channel = self._plane_routes[
             self.geometry.plane_of_block(op.block_index)
         ]
+        fault = (
+            self.faults.on_dispatch(op, klass is IoPriority.HOST_READ)
+            if self.faults is not None
+            else None
+        )
         retries = 0
         if op.kind is OpKind.READ:
             # Retention-induced read retries hit long-stored data, i.e.
@@ -352,8 +370,17 @@ class SsdSimulator:
                 retries = self.retry_model.sample_retries(
                     self._host_retry_rng, senses=op.senses
                 )
+                if fault is not None:
+                    # Retry-ladder exhaustion: the CRN draws above are
+                    # consumed exactly as usual (paired runs stay in
+                    # step), then the ladder is forced to its full
+                    # length — the read decodes only via outer
+                    # protection, handled at completion.
+                    retries = self.retry_model.max_retries
                 if retries:
                     self.metrics.read_retries += retries
+                    if self.faults is not None:
+                        self.faults.note_read_retries(op, retries)
             stages = self._planner.read(die_index, die, channel, op.senses, 1 + retries)
         elif op.kind is OpKind.WRITE:
             stages = self._planner.write(die_index, die, channel)
@@ -378,6 +405,12 @@ class SsdSimulator:
             if self.profiler is not None
             else None
         )
+        if fault is not None:
+            on_done = self.faults.wrap_completion(fault, on_done)
+        elif self.faults is not None and op.kind is OpKind.ADJUST:
+            # Clean adjust completions retire their torn-recovery
+            # journal intent (only journaled when faults are armed).
+            on_done = self.faults.wrap_adjust_commit(op, on_done)
         OpPipeline(
             self.engine,
             stages,
@@ -387,6 +420,7 @@ class SsdSimulator:
             span=span,
             record=record,
             profile=profile,
+            fault=fault,
         ).start()
 
     # ------------------------------------------------------------------
@@ -434,3 +468,15 @@ class SsdSimulator:
         self.metrics.refresh_corrupted_pages = counters.refresh_corrupted_pages
         self.metrics.refresh_extra_reads = counters.refresh_reprogrammed_pages
         self.metrics.unmapped_reads = counters.unmapped_reads
+        self.metrics.program_failures = counters.program_failures
+        self.metrics.erase_failures = counters.erase_failures
+        self.metrics.grown_bad_blocks = counters.grown_bad_blocks
+        self.metrics.uncorrectable_reads = counters.uncorrectable_reads
+        self.metrics.read_reclaims = counters.read_reclaims
+        self.metrics.torn_adjust_recoveries = counters.torn_adjust_recoveries
+        self.metrics.die_failures = counters.die_failures
+        self.metrics.fault_page_moves = counters.fault_page_moves
+
+    def fault_summary(self) -> dict | None:
+        """The bound injector's plan/event account; ``None`` without one."""
+        return None if self.faults is None else self.faults.summary()

@@ -36,6 +36,94 @@ class TestCli:
         assert "proj_3" in out
 
 
+class TestFaultsCli:
+    def _plan_path(self, tmp_path):
+        from repro.faults import FaultEvent, FaultKind, FaultPlan, save_plan
+
+        plan = FaultPlan(
+            events=(FaultEvent(kind=FaultKind.PROGRAM_FAIL, op_ordinal=2),),
+            read_reclaim_threshold=12,
+            name="cli-test",
+        )
+        return save_plan(plan, tmp_path / "plan.json")
+
+    def test_run_with_faults_plan(self, capsys, tmp_path, monkeypatch):
+        path = self._plan_path(tmp_path)
+        report = tmp_path / "run.json"
+        code = main(
+            [
+                "run",
+                "--scale",
+                "tiny",
+                "--faults",
+                str(path),
+                "--report",
+                str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        import json
+
+        manifest = json.loads(report.read_text())
+        assert manifest["faults"]["plan"]["name"] == "cli-test"
+        assert manifest["config"]["faults"]["name"] == "cli-test"
+
+    def test_run_rejects_broken_plan(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["run", "--scale", "tiny", "--faults", str(path)])
+
+    def test_faults_artifact_with_json_out(self, capsys, tmp_path):
+        out_path = tmp_path / "faults.json"
+        code = main(
+            [
+                "faults",
+                "--scale",
+                "tiny",
+                "--workloads",
+                "hm_1",
+                "--json-out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "density=0" in capsys.readouterr().out
+        import json
+
+        data = json.loads(out_path.read_text())
+        assert data["kind"] == "faults_artifact"
+        assert data["cells"]
+
+    def test_json_out_rejected_for_unsupported_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["table4", "--scale", "tiny", "--json-out", "x.json"])
+
+    def test_keep_going_drops_failed_workload(self, capsys):
+        code = main(
+            [
+                "fig8",
+                "--scale",
+                "tiny",
+                "--workloads",
+                "hm_1,no_such_trace",
+                "--keep-going",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dropping workload 'no_such_trace'" in out
+        assert "hm_1" in out
+
+    def test_without_keep_going_failure_propagates(self):
+        from repro.experiments.parallel import SweepError
+
+        with pytest.raises(SweepError):
+            main(["fig8", "--scale", "tiny", "--workloads", "hm_1,no_such_trace"])
+
+
 class TestRunSubcommand:
     def test_plain_run(self, capsys):
         assert main(["run", "--scale", "tiny"]) == 0

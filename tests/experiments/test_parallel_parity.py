@@ -23,6 +23,7 @@ from repro.experiments.config import RunScale
 from repro.experiments.fig8_response_time import format_fig8, run_fig8
 from repro.experiments.parallel import RunUnit, execute_units
 from repro.experiments.systems import baseline, ida
+from repro.faults import FaultPlan
 
 GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "fig8_tiny.json"
 TRACES = ("hm_1", "proj_1", "usr_1")
@@ -90,3 +91,41 @@ def test_fig8_sweep_parity_across_job_counts() -> None:
     parallel = run_fig8(jobs=2, **kwargs)
     assert parallel.normalized == sequential.normalized
     assert format_fig8(parallel) == format_fig8(sequential)
+
+
+def test_fault_injection_parity_across_job_counts() -> None:
+    """ISSUE 5 acceptance: same seed + same FaultPlan, inline vs --jobs 4,
+    yields byte-identical metrics *and* fault-event streams."""
+    scale = RunScale.tiny()
+    plan = FaultPlan.generate(
+        seed=23,
+        duration_us=50_000.0,
+        total_blocks=scale.blocks_per_plane * scale.channels * 4,
+        program_fails=2,
+        grown_bad=2,
+        uncorrectable_reads=3,
+        adjust_interrupts=1,
+        max_program_ordinal=scale.num_requests // 2,
+        max_read_ordinal=scale.num_requests,
+        read_reclaim_threshold=12,
+        name="parity",
+    )
+    units = [
+        RunUnit(SYSTEMS[name], trace, scale, seed=SEED, faults=plan)
+        for trace in ("hm_1", "usr_1")
+        for name in sorted(SYSTEMS)
+    ]
+    inline = execute_units(units, jobs=1)
+    pooled = execute_units(units, jobs=4)
+    for seq, par in zip(inline, pooled):
+        assert json.dumps(seq.metrics_summary(), sort_keys=True) == json.dumps(
+            par.metrics_summary(), sort_keys=True
+        )
+        assert seq.faults is not None and par.faults is not None
+        assert json.dumps(seq.faults, sort_keys=True) == json.dumps(
+            par.faults, sort_keys=True
+        )
+        # The plan actually bit: at least one unit fired something.
+    assert any(
+        sum(payload.faults["fired"].values()) > 0 for payload in inline
+    )

@@ -70,6 +70,16 @@ class TestRberModel:
             RberModel(base_rber=0.0)
         with pytest.raises(ValueError):
             RberModel(rated_pe_cycles=0)
+        with pytest.raises(ValueError, match="wear_exponent"):
+            RberModel(wear_exponent=-0.1)
+        with pytest.raises(ValueError, match="retention_slope"):
+            RberModel(retention_slope=-0.01)
+
+    def test_zero_growth_boundaries_are_valid(self):
+        # A flat curve (no wear growth, no retention growth) is a legal
+        # calibration, not a config error.
+        model = RberModel(wear_exponent=0.0, retention_slope=0.0)
+        assert model.rber(3000, 365.0) == pytest.approx(model.base_rber)
 
 
 class TestReadRetryModel:
@@ -105,6 +115,20 @@ class TestReadRetryModel:
             ReadRetryModel(fail_prob=-0.1)
         with pytest.raises(ValueError):
             ReadRetryModel(fail_prob=0.5, max_retries=-1)
+
+    def test_for_rber_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="rber"):
+            ReadRetryModel.for_rber(-1e-4)
+        with pytest.raises(ValueError, match="threshold"):
+            ReadRetryModel.for_rber(1e-3, threshold=0.0)
+        with pytest.raises(ValueError, match="sharpness"):
+            ReadRetryModel.for_rber(1e-3, sharpness=0.0)
+
+    def test_for_rber_boundaries_are_valid(self):
+        # rber == 0 is a fresh device; fail_prob lands near zero but the
+        # model must construct.
+        assert ReadRetryModel.for_rber(0.0).fail_prob < 0.1
+        assert 0.0 <= ReadRetryModel.for_rber(1.0).fail_prob <= 0.95
 
     @settings(max_examples=30, deadline=None)
     @given(st.floats(min_value=0.0, max_value=0.9))
