@@ -18,6 +18,13 @@ read-first and fcfs policies.
 Run:  python benchmarks/bench_pipeline.py [--scale quick] [--reps 5]
                                           [--record PATH]
                                           [--check --baseline PATH]
+                                          [--append-trajectory PATH]
+
+``--append-trajectory`` appends one compact entry (ops/sec per policy,
+engine events/sec, scale, timestamp, git revision when available) to a
+JSON-array file — CI points it at ``benchmarks/BENCH_trajectory.json``
+so the throughput history accumulates one point per run and regressions
+show up as a trend, not just a single-gate pass/fail.
 """
 
 from __future__ import annotations
@@ -81,6 +88,19 @@ def time_runs(scale: RunScale, policy: str, reps: int) -> tuple[list[float], int
     return times, ops
 
 
+def _git_rev() -> str | None:
+    """Current short revision, or None outside a git checkout."""
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=["tiny", "quick", "bench"], default="quick")
@@ -93,6 +113,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail if slower than the baseline beyond the threshold")
     parser.add_argument("--threshold", type=float, default=5.0,
                         help="max tolerated slowdown in percent (default: 5)")
+    parser.add_argument("--append-trajectory", metavar="PATH", default=None,
+                        help="append this run's ops/sec to a JSON-array "
+                             "history file (created if missing)")
     args = parser.parse_args(argv)
     if args.check and not args.baseline:
         parser.error("--check requires --baseline")
@@ -131,6 +154,33 @@ def main(argv: list[str] | None = None) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(report, indent=1) + "\n")
         print(f"recorded -> {path}")
+
+    if args.append_trajectory:
+        path = Path(args.append_trajectory)
+        entry = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "git_rev": _git_rev(),
+            "scale": args.scale,
+            "reps": args.reps,
+            "ops_per_s": {
+                policy: stats["ops_per_s"]
+                for policy, stats in report["policies"].items()
+            },
+            "engine_events_per_s": report["engine"]["events_per_s"],
+        }
+        history: list = []
+        if path.exists():
+            try:
+                history = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                print(f"warning: {path} is not valid JSON, starting fresh")
+            if not isinstance(history, list):
+                print(f"warning: {path} is not a JSON array, starting fresh")
+                history = []
+        history.append(entry)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(history, indent=1) + "\n")
+        print(f"trajectory -> {path} ({len(history)} entries)")
 
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())

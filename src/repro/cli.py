@@ -6,10 +6,13 @@ Usage::
     ida-repro fig8  [--scale quick|bench|full] [--workloads usr_1,proj_1]
     ida-repro table4 --scale bench
     ida-repro all --scale quick
+    ida-repro health --scale bench --json-out health.json --prom health.prom
     ida-repro run --scale tiny --policy fcfs --trace /tmp/t.jsonl --report /tmp/run.json
+    ida-repro run --scale tiny --health --report /tmp/run.json
     ida-repro profile --system ida-e20 --workload usr_1 --out /tmp/trace.json
     ida-repro inspect /tmp/t.jsonl --top 5
     ida-repro inspect /tmp/t.jsonl --last 20
+    ida-repro inspect /tmp/t.jsonl --format json
 
 (The ``repro`` console script is an alias of ``ida-repro``.)
 """
@@ -40,6 +43,10 @@ from .experiments import (
     format_faults,
     run_capacity_analysis,
     run_faults,
+    format_health,
+    health_to_json,
+    health_to_prometheus,
+    run_health,
     format_fig4,
     format_fig8,
     format_fig9,
@@ -80,6 +87,7 @@ ARTIFACTS: dict[str, tuple[Callable, Callable]] = {
     "table5": (run_table5, format_table5),
     "qlc": (run_qlc_extension, format_qlc),
     "faults": (run_faults, format_faults),
+    "health": (run_health, format_health),
     "capacity": (run_capacity_analysis, format_capacity),
     "ablation-adjust": (run_adjust_cost_ablation, format_ablation),
     "ablation-refresh": (run_refresh_frequency_ablation, format_ablation),
@@ -133,7 +141,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the artifact's JSON form to PATH "
-             "(supported by: faults, breakdown)",
+             "(supported by: faults, breakdown, health)",
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="PATH",
+        default=None,
+        help="also write a Prometheus text exposition to PATH "
+             "(supported by: health)",
     )
     return parser
 
@@ -142,6 +157,12 @@ def _build_parser() -> argparse.ArgumentParser:
 _JSON_EXPORTERS: dict[str, Callable] = {
     "faults": faults_to_json,
     "breakdown": breakdown_to_json,
+    "health": health_to_json,
+}
+
+#: artifact name -> Prometheus exposition exporter.
+_PROM_EXPORTERS: dict[str, Callable] = {
+    "health": health_to_prometheus,
 }
 
 
@@ -152,6 +173,7 @@ def _run_one(
     jobs: int = 1,
     keep_going: bool = False,
     json_out: str | None = None,
+    prom_out: str | None = None,
 ) -> str:
     runner, formatter = ARTIFACTS[name]
     started = time.time()
@@ -174,6 +196,15 @@ def _run_one(
 
         with open(json_out, "w", encoding="utf-8") as handle:
             json.dump(exporter(result), handle, indent=2)
+    if prom_out:
+        exporter = _PROM_EXPORTERS.get(name)
+        if exporter is None:
+            raise SystemExit(
+                f"--prom is not supported for {name!r}; "
+                f"use one of {sorted(_PROM_EXPORTERS)}"
+            )
+        with open(prom_out, "w", encoding="utf-8") as handle:
+            handle.write(exporter(result))
     return f"{formatter(result)}\n[{name}: {elapsed:.1f}s]"
 
 
@@ -219,6 +250,10 @@ def _build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--faults", metavar="PATH", default=None,
                         help="inject the fault plan (JSON, see docs/faults.md) "
                              "into the run")
+    parser.add_argument("--health", action="store_true",
+                        help="attach the device-health monitor (SMART-style "
+                             "snapshots + metrics registry + default SLOs); "
+                             "the manifest gains a 'health' key")
     return parser
 
 
@@ -262,13 +297,26 @@ def _cmd_run(argv: list[str]) -> int:
     )
     started = time.time()
     if args.jobs == 1:
+        health = None
+        if args.health:
+            from .obs import HealthMonitor, MetricsRegistry, SloEngine
+
+            health = HealthMonitor(registry=MetricsRegistry(), slo=SloEngine())
         result = run_workload(
             system, spec, scale, seed=args.seed, tracer=tracer,
-            collector=collector, faults=plan,
+            collector=collector, faults=plan, health=health,
         )
         payload = result.to_payload()
     else:
-        unit = RunUnit(system, args.workload, scale, seed=args.seed, faults=plan)
+        slo = None
+        if args.health:
+            from .obs import DEFAULT_READ_P99_SLO
+
+            slo = (DEFAULT_READ_P99_SLO,)
+        unit = RunUnit(
+            system, args.workload, scale, seed=args.seed, faults=plan,
+            health=args.health, slo=slo,
+        )
         payload = SweepExecutor(jobs=args.jobs).map([unit])[0]
     elapsed = time.time() - started
     if tracer is not None:
@@ -294,6 +342,19 @@ def _cmd_run(argv: list[str]) -> int:
         active = {k: v for k, v in fired.items() if v}
         print(f"  faults: {len(payload.faults.get('events', []))} events "
               f"fired {active or '(none)'}")
+    if payload.health is not None:
+        summary = payload.health.get("summary", {})
+        wear = summary.get("wear", {})
+        print(f"  health: {summary.get('samples', 0)} samples  "
+              f"wear p99 {wear.get('p99', 0):.0f} erases  "
+              f"retired {summary.get('retired_blocks', 0)}  "
+              f"retries {summary.get('read_retries', 0)}  "
+              f"IDA exposure {summary.get('ida_exposure', 0.0):.1%}")
+        slo = payload.health.get("slo")
+        if slo is not None:
+            breaching = [o["objective"] for o in slo["objectives"] if o["breaching"]]
+            print(f"  slo   : {slo['breaches']} breach(es)"
+                  + (f", still breaching: {', '.join(breaching)}" if breaching else ""))
     if tracer is not None:
         print(f"  trace : {args.trace} ({tracer.events_emitted} events)")
     if collector is not None:
@@ -419,9 +480,14 @@ def _cmd_inspect(argv: list[str]) -> int:
     parser.add_argument("--last", type=int, default=None, metavar="N",
                         help="show only the final N request spans instead "
                              "of the summary")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format: human-readable text (default) "
+                             "or the JSON summary dict")
     args = parser.parse_args(argv)
     if args.last is not None and args.last < 1:
         raise SystemExit("--last must be >= 1")
+    if args.last is not None and args.format == "json":
+        raise SystemExit("--last is text-only; drop --format json")
 
     try:
         events, warnings = load_trace_safe(args.trace)
@@ -429,6 +495,13 @@ def _cmd_inspect(argv: list[str]) -> int:
         raise SystemExit(str(exc)) from None
     for warning in warnings:
         print(f"warning: {warning}", file=sys.stderr)
+    if args.format == "json":
+        import json
+
+        from .obs import summarize_trace
+
+        print(json.dumps(summarize_trace(events, top=args.top).to_dict(), indent=2))
+        return 0
     if not events:
         print(f"{args.trace} contains no events")
         return 0
@@ -460,6 +533,19 @@ def main(argv: list[str] | None = None) -> int:
     targets = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     if args.json_out and len(targets) != 1:
         raise SystemExit("--json-out needs a single artifact, not 'all'")
+    if args.prom and len(targets) != 1:
+        raise SystemExit("--prom needs a single artifact, not 'all'")
+    # Reject unsupported exporters before the (possibly long) run starts.
+    if args.json_out and targets[0] not in _JSON_EXPORTERS:
+        raise SystemExit(
+            f"--json-out is not supported for {targets[0]!r}; "
+            f"use one of {sorted(_JSON_EXPORTERS)}"
+        )
+    if args.prom and targets[0] not in _PROM_EXPORTERS:
+        raise SystemExit(
+            f"--prom is not supported for {targets[0]!r}; "
+            f"use one of {sorted(_PROM_EXPORTERS)}"
+        )
     for name in targets:
         print(
             _run_one(
@@ -469,6 +555,7 @@ def main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
                 keep_going=args.keep_going,
                 json_out=args.json_out,
+                prom_out=args.prom,
             )
         )
         print()

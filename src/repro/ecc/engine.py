@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .hamming import DecodeResult, HammingCodec
+from .hamming import DecodeResult, DecodeStatus, HammingCodec
 from .ldpc import LdpcModel
 
 __all__ = ["EccEngine"]
@@ -33,11 +33,31 @@ class EccEngine:
     ldpc: LdpcModel = field(default_factory=LdpcModel)
     codec_data_bits: int = 64
     _codec: HammingCodec = field(init=False)
+    #: Lifetime decode accounting on the bit-exact path (cheap integer
+    #: adds; always on).
+    decodes: int = field(init=False, default=0)
+    corrected: int = field(init=False, default=0)
+    uncorrectable: int = field(init=False, default=0)
+    _telemetry: dict | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.decode_us <= 0:
             raise ValueError("decode_us must be positive")
         self._codec = HammingCodec(self.codec_data_bits)
+
+    def bind_telemetry(self, registry) -> None:
+        """Publish decode outcomes into a metrics registry."""
+        self._telemetry = {
+            "decodes": registry.counter(
+                "ecc_decodes_total", "codeword decode attempts"
+            ).unlabeled,
+            "corrected": registry.counter(
+                "ecc_corrected_total", "decodes that corrected a bit error"
+            ).unlabeled,
+            "uncorrectable": registry.counter(
+                "ecc_uncorrectable_total", "decodes that detected a double error"
+            ).unlabeled,
+        }
 
     @property
     def codec(self) -> HammingCodec:
@@ -50,7 +70,19 @@ class EccEngine:
 
     def decode(self, codeword: np.ndarray) -> DecodeResult:
         """Decode one stored word, correcting single-bit errors."""
-        return self._codec.decode(codeword)
+        result = self._codec.decode(codeword)
+        self.decodes += 1
+        if result.status is DecodeStatus.CORRECTED:
+            self.corrected += 1
+        elif result.status is DecodeStatus.UNCORRECTABLE:
+            self.uncorrectable += 1
+        if self._telemetry is not None:
+            self._telemetry["decodes"].inc()
+            if result.status is DecodeStatus.CORRECTED:
+                self._telemetry["corrected"].inc()
+            elif result.status is DecodeStatus.UNCORRECTABLE:
+                self._telemetry["uncorrectable"].inc()
+        return result
 
     def sensing_levels(self, rng: np.random.Generator, rber: float) -> int:
         """Extra read-retry sensing levels a page read needs at ``rber``."""

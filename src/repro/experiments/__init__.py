@@ -25,6 +25,15 @@ from .fig8_response_time import Fig8Result, format_fig8, run_fig8
 from .fig9_dtr_sensitivity import Fig9Result, format_fig9, run_fig9
 from .fig10_throughput import Fig10Result, format_fig10, run_fig10
 from .fig11_read_retry import Fig11Result, LifetimePhase, format_fig11, run_fig11
+from .health_artifact import (
+    HealthArtifactResult,
+    HealthCell,
+    format_health,
+    health_objectives,
+    health_to_json,
+    health_to_prometheus,
+    run_health,
+)
 from .fig_breakdown import (
     BreakdownCell,
     BreakdownResult,
@@ -101,6 +110,13 @@ __all__ = [
     "LifetimePhase",
     "format_fig11",
     "run_fig11",
+    "HealthArtifactResult",
+    "HealthCell",
+    "format_health",
+    "health_objectives",
+    "health_to_json",
+    "health_to_prometheus",
+    "run_health",
     "BreakdownCell",
     "BreakdownResult",
     "run_fig_breakdown",

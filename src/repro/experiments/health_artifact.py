@@ -1,0 +1,317 @@
+"""Health artifact — device-health trajectories, Baseline vs IDA-E20.
+
+The paper's figures report end-of-run latency aggregates; an operator
+deciding whether to deploy IDA-Coding also wants to know what it does to
+the *device*: wear spread, estimated RBER, E-state exposure, retry and
+reclaim pressure — and whether service objectives hold as the device
+degrades.  This artifact runs baseline and IDA-E20 with the health
+monitor attached, healthy and under a late-lifetime fault plan (the
+PR 5 injector), and reports the resulting trajectories plus SLO
+accounting.
+
+Within a workload the faulted cells of both systems share one
+:class:`~repro.faults.FaultPlan` (same placement, same schedule), so the
+health divergence isolates the coding scheme, mirroring the pairing
+discipline of the faults artifact.  Every cell carries full health
+payloads — snapshot series, SLO summary, and the run's metrics-registry
+state — so the JSON export is a complete health record and the
+Prometheus export is one merged scrape file distinguished by
+``system`` / ``condition`` labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..obs.metrics import labeled_snapshots_to_prometheus
+from ..obs.slo import SloObjective
+from ..workloads.msr import workload as _catalog_workload
+from .config import RunScale
+from .faults_artifact import plan_for_cell
+from .fig11_read_retry import DEFAULT_PHASES
+from .parallel import ProgressFn, RunUnit, execute_units, failed_workloads
+from .reporting import ascii_table
+from .systems import baseline, ida
+
+__all__ = [
+    "DEFAULT_HEALTH_DENSITY",
+    "HealthCell",
+    "HealthArtifactResult",
+    "health_objectives",
+    "run_health",
+    "format_health",
+    "health_to_json",
+    "health_to_prometheus",
+]
+
+#: Fault density of the degraded cells (same scale as the faults
+#: artifact's densities; 4 is its heaviest default column).
+DEFAULT_HEALTH_DENSITY = 4
+
+#: Late-lifetime phase index into :data:`DEFAULT_PHASES` used for the
+#: faulted cells (index 1 = the high retry-fail-prob end of Fig. 11).
+_LATE_PHASE_INDEX = 1
+
+
+def health_objectives(duration_us: float) -> tuple[SloObjective, ...]:
+    """The artifact's default SLOs, windowed to the trace duration.
+
+    ``read-retry-rate`` is the discriminating objective: a healthy
+    device retries (essentially) never, a late-lifetime faulted one
+    retries on a large fraction of reads, so the faulted cells breach
+    while the healthy cells keep their full error budget.  ``read-p99``
+    rides along with a deliberately loose threshold as the latency
+    guardrail.
+    """
+    window = duration_us / 4
+    return (
+        SloObjective(
+            name="read-retry-rate",
+            metric="read_retry_rate",
+            threshold=0.05,
+            window_us=window,
+            budget=0.1,
+        ),
+        SloObjective(
+            name="read-p99",
+            metric="read_p99_us",
+            threshold=6000.0,
+            window_us=window,
+            budget=0.25,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class HealthCell:
+    """One (workload, system, condition) run's health record."""
+
+    workload: str
+    system: str
+    condition: str  # "healthy" | "faulted"
+    mean_read_us: float
+    #: The run's full health payload: summary, snapshot series, SLO
+    #: accounting and registry snapshot (see HealthMonitor.to_payload).
+    health: dict = field(default_factory=dict)
+
+    @property
+    def summary(self) -> dict:
+        return self.health.get("summary", {})
+
+    @property
+    def series(self) -> list:
+        return self.health.get("series", [])
+
+    @property
+    def slo(self) -> dict:
+        return self.health.get("slo", {})
+
+    @property
+    def breaches(self) -> int:
+        return self.slo.get("breaches", 0)
+
+
+@dataclass
+class HealthArtifactResult:
+    """All cells plus the axes that generated them."""
+
+    workloads: list[str]
+    error_rate: float
+    density: int
+    retry_fail_prob: float
+    cells: list[HealthCell] = field(default_factory=list)
+
+    def cell(self, workload: str, system: str, condition: str) -> HealthCell:
+        for cell in self.cells:
+            if (
+                cell.workload == workload
+                and cell.system == system
+                and cell.condition == condition
+            ):
+                return cell
+        raise KeyError(f"no cell ({workload}, {system}, {condition})")
+
+
+def run_health(
+    scale: RunScale | None = None,
+    workload_names: list[str] | None = None,
+    error_rate: float = 0.2,
+    density: int = DEFAULT_HEALTH_DENSITY,
+    seed: int = 11,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+    keep_going: bool = False,
+) -> HealthArtifactResult:
+    """Sweep (workload x {baseline, ida} x {healthy, faulted}) with health on."""
+    scale = scale or RunScale.bench()
+    names = workload_names or ["hm_1", "proj_1"]
+    late = DEFAULT_PHASES[_LATE_PHASE_INDEX]
+
+    conditions = []  # (workload, system_name, condition) per unit
+    units = []
+    for name in names:
+        spec = _catalog_workload(name).scaled(
+            scale.num_requests, scale.footprint_pages
+        )
+        objectives = health_objectives(spec.duration_us)
+        plan = plan_for_cell(name, _LATE_PHASE_INDEX, density, scale, seed)
+        for spec_sys in (baseline(), ida(error_rate)):
+            conditions.append((name, spec_sys.name, "healthy"))
+            units.append(
+                RunUnit(
+                    spec_sys, name, scale, seed=seed, health=True, slo=objectives
+                )
+            )
+            conditions.append((name, spec_sys.name, "faulted"))
+            units.append(
+                RunUnit(
+                    spec_sys.with_retry(late.retry_fail_prob),
+                    name,
+                    scale,
+                    seed=seed,
+                    faults=plan,
+                    health=True,
+                    slo=objectives,
+                )
+            )
+
+    payloads = execute_units(
+        units, jobs=jobs, progress=progress, keep_going=keep_going
+    )
+    failed = failed_workloads(payloads)
+    if failed and progress is not None:
+        for name in sorted(failed):
+            progress(f"keep-going: dropping workload {name!r} (unit failed)")
+
+    result = HealthArtifactResult(
+        workloads=[n for n in names if n not in failed],
+        error_rate=error_rate,
+        density=density,
+        retry_fail_prob=late.retry_fail_prob,
+    )
+    for (name, system_name, condition), payload in zip(conditions, payloads):
+        if name in failed:
+            continue
+        result.cells.append(
+            HealthCell(
+                workload=name,
+                system=system_name,
+                condition=condition,
+                mean_read_us=payload.mean_read_response_us,
+                health=payload.health or {},
+            )
+        )
+    return result
+
+
+_SPARK_RAMP = " .:-=+*#%@"
+
+
+def _sparkline(values: list[float]) -> str:
+    """ASCII sparkline: one ramp character per value, scaled to the max."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK_RAMP[0] * len(values)
+    scale = (len(_SPARK_RAMP) - 1) / top
+    return "".join(_SPARK_RAMP[int(round(v * scale))] for v in values)
+
+
+def format_health(result: HealthArtifactResult) -> str:
+    """Summary table plus per-cell retry-rate / p99 trajectory sparklines."""
+    headers = [
+        "workload",
+        "system",
+        "condition",
+        "mean read",
+        "wear p99",
+        "retired",
+        "retries",
+        "max RBER",
+        "IDA exp",
+        "SLO breaches",
+    ]
+    rows = []
+    for cell in result.cells:
+        summary = cell.summary
+        wear = summary.get("wear", {})
+        rows.append(
+            [
+                cell.workload,
+                cell.system,
+                cell.condition,
+                f"{cell.mean_read_us:.0f}us",
+                f"{wear.get('p99', 0):.0f}",
+                summary.get("retired_blocks", 0),
+                summary.get("read_retries", 0),
+                f"{summary.get('max_est_rber', 0.0):.2e}",
+                f"{summary.get('ida_exposure', 0.0) * 100:.1f}%",
+                cell.breaches,
+            ]
+        )
+    table = ascii_table(
+        headers,
+        rows,
+        title=(
+            "Health: device trajectories, baseline vs IDA-E20, healthy vs "
+            f"faulted (density={result.density}, "
+            f"retry_fail_prob={result.retry_fail_prob})"
+        ),
+    )
+    lines = [table, "", "trajectories (per sampling interval):"]
+    for cell in result.cells:
+        retry = [s.get("read_retry_rate", 0.0) for s in cell.series]
+        p99 = [s.get("read_latency", {}).get("p99_us", 0.0) for s in cell.series]
+        label = f"{cell.workload}/{cell.system}/{cell.condition}"
+        lines.append(f"  {label:<40} retry-rate [{_sparkline(retry)}]")
+        lines.append(f"  {'':<40} read-p99   [{_sparkline(p99)}]")
+    return "\n".join(lines)
+
+
+def health_to_json(result: HealthArtifactResult) -> dict:
+    """JSON-ready form of the sweep, full health payloads included.
+
+    CI uploads this as the run's health-series artifact; everything the
+    summary table shows is reconstructible from it.
+    """
+    return {
+        "kind": "health_artifact",
+        "workloads": list(result.workloads),
+        "error_rate": result.error_rate,
+        "density": result.density,
+        "retry_fail_prob": result.retry_fail_prob,
+        "cells": [
+            {
+                "workload": c.workload,
+                "system": c.system,
+                "condition": c.condition,
+                "mean_read_us": c.mean_read_us,
+                "health": c.health,
+            }
+            for c in result.cells
+        ],
+    }
+
+
+def health_to_prometheus(result: HealthArtifactResult) -> str:
+    """One Prometheus exposition for the whole sweep.
+
+    Each cell's registry snapshot contributes its samples tagged with
+    ``workload`` / ``system`` / ``condition`` labels; families are
+    declared once.  Cells without a registry (shouldn't happen — health
+    units always carry one) are skipped rather than failing the export.
+    """
+    labeled = [
+        (
+            {
+                "workload": cell.workload,
+                "system": cell.system,
+                "condition": cell.condition,
+            },
+            cell.health["registry"],
+        )
+        for cell in result.cells
+        if cell.health.get("registry")
+    ]
+    return labeled_snapshots_to_prometheus(labeled)

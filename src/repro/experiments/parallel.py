@@ -54,8 +54,11 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..faults.plan import FaultPlan
+from ..obs.health import HealthMonitor
 from ..obs.interval import IntervalCollector
+from ..obs.metrics import MetricsRegistry
 from ..obs.profiler import SimProfiler
+from ..obs.slo import SloEngine, SloObjective
 from ..obs.tracer import Tracer
 from ..workloads.msr import workload as _catalog_workload
 from ..workloads.synthetic import WorkloadSpec
@@ -109,6 +112,16 @@ class RunUnit:
             run's simulator.  Plans are frozen and picklable, so faulted
             units fan out exactly like healthy ones; the fault summary
             rides back on the payload's ``faults`` field.
+        health: Attach a :class:`~repro.obs.health.HealthMonitor` (with
+            its own :class:`~repro.obs.metrics.MetricsRegistry`) to the
+            run.  Like the profiler, the monitor is built worker-side —
+            only its plain-dict payload crosses the process boundary —
+            so health-instrumented sweeps run at any job count and
+            produce identical series inline and pooled.
+        slo: Optional :class:`~repro.obs.slo.SloObjective` tuple to
+            evaluate against the health trajectory (implies nothing by
+            itself — only honoured when ``health`` is set).  Objectives
+            are frozen dataclasses, picklable by construction.
     """
 
     system: SystemSpec
@@ -119,12 +132,25 @@ class RunUnit:
     queue_depth: int = 32
     profile: bool = False
     faults: FaultPlan | None = None
+    health: bool = False
+    slo: tuple[SloObjective, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValueError(
                 f"unknown mode {self.mode!r}; choose one of {_MODES}"
             )
+        if self.slo is not None and not self.health:
+            raise ValueError("slo objectives require health=True")
+
+    def build_health(self) -> HealthMonitor | None:
+        """Worker-side health monitor for this unit (None when disabled)."""
+        if not self.health:
+            return None
+        return HealthMonitor(
+            registry=MetricsRegistry(),
+            slo=SloEngine(self.slo) if self.slo else None,
+        )
 
     @property
     def workload_name(self) -> str:
@@ -168,9 +194,10 @@ def execute_unit(
 ) -> RunResultPayload | CapacityCensus:
     """Run one unit in the current process (worker body and inline path)."""
     spec = unit.resolve_workload()
-    # Worker-side profiler: constructed here so nothing live crosses the
-    # fork; aggregate-only (no slice events) keeps the payload compact.
+    # Worker-side profiler / health monitor: constructed here so nothing
+    # live crosses the fork; only plain-dict payloads ride back.
     profiler = SimProfiler(keep_events=False) if unit.profile else None
+    health = unit.build_health()
     if unit.mode == "open":
         return run_workload(
             unit.system,
@@ -181,6 +208,7 @@ def execute_unit(
             collector=collector,
             profiler=profiler,
             faults=unit.faults,
+            health=health,
         ).to_payload()
     if unit.mode == "closed":
         return run_workload_closed_loop(
@@ -193,6 +221,7 @@ def execute_unit(
             collector=collector,
             profiler=profiler,
             faults=unit.faults,
+            health=health,
         ).to_payload()
     return run_capacity_phase_pair(
         unit.system, spec, unit.scale, seed=unit.seed, faults=unit.faults

@@ -158,6 +158,7 @@ def build_run_manifest(
     trace_path: str | Path | None = None,
     profile: dict | None = None,
     faults: dict | None = None,
+    health: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
     """Assemble a run manifest from its parts.
@@ -175,6 +176,7 @@ def build_run_manifest(
         trace_path=trace_path,
         profile=profile,
         faults=faults,
+        health=health,
         extra=extra,
     )
 
@@ -189,11 +191,16 @@ def _assemble_manifest(
     trace_path: str | Path | None = None,
     profile: dict | None = None,
     faults: dict | None = None,
+    health: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
     manifest: dict = {
         "kind": "run_manifest",
         "schema": SCHEMA_VERSION,
+        # Alias for ``schema``, spelled the way external manifest
+        # consumers (and the JSON inspector) expect the field.  Both
+        # keys always carry the same value.
+        "schema_version": SCHEMA_VERSION,
         "config": jsonable(config),
         "config_hash": config_hash(config),
         "metrics": summary,
@@ -209,6 +216,9 @@ def _assemble_manifest(
     if faults is not None:
         # Same contract: only fault-injected runs carry the key.
         manifest["faults"] = jsonable(faults)
+    if health is not None:
+        # And again: only health-monitored runs carry the key.
+        manifest["health"] = jsonable(health)
     if collector is not None:
         manifest["time_series"] = {
             "summary": collector.summary(),
@@ -272,6 +282,7 @@ def manifest_for_run(
         trace_path=trace_path,
         profile=result.profile,
         faults=result.faults,
+        health=result.health,
         extra=_run_extras(
             refresh, result.in_use_blocks, result.ida_blocks, jobs
         ),
@@ -309,6 +320,7 @@ def manifest_for_payload(
         trace_path=trace_path,
         profile=payload.profile,
         faults=payload.faults,
+        health=payload.health,
         extra=_run_extras(
             payload.refresh, payload.in_use_blocks, payload.ida_blocks, jobs
         ),

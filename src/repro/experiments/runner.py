@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from ..faults.plan import FaultPlan
 from ..ftl.gc import GcPolicy
 from ..ftl.refresh import RefreshPolicy, RefreshReport
+from ..obs.health import HealthMonitor
 from ..obs.histogram import Histogram
 from ..obs.interval import IntervalCollector
 from ..obs.profiler import SimProfiler
@@ -64,6 +65,10 @@ class RunResult:
         faults: The fault injector's ``summary()`` (plan + fired events)
             when the run had a :class:`~repro.faults.FaultPlan` bound,
             else ``None`` — same absent-key discipline as ``profile``.
+        health: The health monitor's ``to_payload()`` (snapshot series,
+            summary, optional SLO + registry state) when the run had a
+            :class:`~repro.obs.health.HealthMonitor` bound, else
+            ``None`` — same absent-key discipline again.
     """
 
     system: SystemSpec
@@ -78,6 +83,7 @@ class RunResult:
     seed: int = 11
     profile: dict | None = None
     faults: dict | None = None
+    health: dict | None = None
 
     @property
     def mean_read_response_us(self) -> float:
@@ -126,6 +132,7 @@ class RunResultPayload:
     queue_wait: dict = field(default_factory=dict)
     profile: dict | None = None
     faults: dict | None = None
+    health: dict | None = None
 
     @property
     def mean_read_response_us(self) -> float:
@@ -186,6 +193,7 @@ class RunResultPayload:
             queue_wait=result.queue_wait,
             profile=result.profile,
             faults=result.faults,
+            health=result.health,
         )
 
 
@@ -230,6 +238,7 @@ def build_simulator(
     collector: IntervalCollector | None = None,
     profiler: SimProfiler | None = None,
     faults: FaultPlan | None = None,
+    health: HealthMonitor | None = None,
 ) -> SsdSimulator:
     """Assemble a simulator for one system at one scale."""
     dev = _build_device(system, scale)
@@ -253,7 +262,23 @@ def build_simulator(
         collector=collector,
         profiler=profiler,
         faults=faults,
+        health=health,
     )
+
+
+def _health_collector(
+    spec: WorkloadSpec, collector: IntervalCollector | None
+) -> IntervalCollector | None:
+    """Collector to sample a health monitor on.
+
+    Health trajectories ride the interval collector's cadence; a run
+    that asks for health without supplying a collector gets a default
+    one spanning the trace in 16 samples.  Built from the scaled spec
+    alone, so inline and pooled executions derive the same grid.
+    """
+    if collector is not None:
+        return collector
+    return IntervalCollector(interval_us=spec.duration_us / 16)
 
 
 def _to_host_requests(
@@ -282,11 +307,14 @@ def run_workload(
     collector: IntervalCollector | None = None,
     profiler: SimProfiler | None = None,
     faults: FaultPlan | None = None,
+    health: HealthMonitor | None = None,
 ) -> RunResult:
     """Execute one (system, workload) pair end to end."""
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
+    if health is not None:
+        collector = _health_collector(spec, collector)
     sim = build_simulator(
         system,
         scale,
@@ -296,6 +324,7 @@ def run_workload(
         collector=collector,
         profiler=profiler,
         faults=faults,
+        health=health,
     )
     page_size = sim.geometry.page_size_bytes
 
@@ -341,6 +370,7 @@ def run_workload(
         seed=seed,
         profile=sim.profiler.aggregate() if sim.profiler is not None else None,
         faults=sim.fault_summary(),
+        health=sim.health.to_payload() if sim.health is not None else None,
     )
 
 
@@ -354,6 +384,7 @@ def run_workload_closed_loop(
     collector: IntervalCollector | None = None,
     profiler: SimProfiler | None = None,
     faults: FaultPlan | None = None,
+    health: HealthMonitor | None = None,
 ) -> RunResult:
     """Closed-loop variant of :func:`run_workload` (Fig. 10 throughput).
 
@@ -363,6 +394,8 @@ def run_workload_closed_loop(
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
+    if health is not None:
+        collector = _health_collector(spec, collector)
     sim = build_simulator(
         system,
         scale,
@@ -372,6 +405,7 @@ def run_workload_closed_loop(
         collector=collector,
         profiler=profiler,
         faults=faults,
+        health=health,
     )
     page_size = sim.geometry.page_size_bytes
 
@@ -395,6 +429,7 @@ def run_workload_closed_loop(
         seed=seed,
         profile=sim.profiler.aggregate() if sim.profiler is not None else None,
         faults=sim.fault_summary(),
+        health=sim.health.to_payload() if sim.health is not None else None,
     )
 
 

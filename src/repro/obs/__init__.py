@@ -12,6 +12,7 @@ identical to an uninstrumented one.
 See ``docs/observability.md`` for the event schema and a worked example.
 """
 
+from .health import HEALTH_SCHEMA, HealthMonitor, HealthSnapshot
 from .histogram import Histogram, default_latency_bounds
 from .inspect import (
     TraceLoadError,
@@ -23,6 +24,14 @@ from .inspect import (
     summarize_trace,
 )
 from .interval import IntervalCollector, IntervalSnapshot
+from .metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    labeled_snapshots_to_prometheus,
+    merge_snapshots,
+    snapshot_to_prometheus,
+)
+from .slo import DEFAULT_READ_P99_SLO, SloEngine, SloObjective
 from .tracer import (
     NULL_TRACER,
     SCHEMA_VERSION,
@@ -47,6 +56,17 @@ __all__ = [
     "default_latency_bounds",
     "IntervalCollector",
     "IntervalSnapshot",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "snapshot_to_prometheus",
+    "labeled_snapshots_to_prometheus",
+    "HEALTH_SCHEMA",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "SloEngine",
+    "SloObjective",
+    "DEFAULT_READ_P99_SLO",
     "SimProfiler",
     "ProfiledOp",
     "ProfiledRequest",

@@ -93,12 +93,28 @@ class Histogram:
                 return min(self.bounds[index], self.max)
         return self.max  # pragma: no cover - unreachable
 
+    def _require_same_bounds(self, other: "Histogram", verb: str) -> None:
+        """Mismatched bucket edges are a caller bug, never a quiet False.
+
+        Two histograms with different bounds measure on different grids;
+        comparing or merging them silently would let (say) a parity test
+        "fail" with no hint that the shapes diverged, or mis-add bucket
+        counts.  Fail loudly with both shapes in the message instead.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot {verb} histograms with different bucket bounds: "
+                f"{len(self.bounds)} bounds [{self.bounds[0]:g} .. "
+                f"{self.bounds[-1]:g}] vs {len(other.bounds)} bounds "
+                f"[{other.bounds[0]:g} .. {other.bounds[-1]:g}]"
+            )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Histogram):
             return NotImplemented
+        self._require_same_bounds(other, "compare")
         return (
-            self.bounds == other.bounds
-            and self.counts == other.counts
+            self.counts == other.counts
             and self.count == other.count
             and self.total == other.total
             and self.min == other.min
@@ -107,8 +123,7 @@ class Histogram:
 
     def merge(self, other: "Histogram") -> None:
         """Fold ``other`` (same bounds) into this histogram."""
-        if other.bounds != self.bounds:
-            raise ValueError("cannot merge histograms with different bounds")
+        self._require_same_bounds(other, "merge")
         for index, count in enumerate(other.counts):
             self.counts[index] += count
         self.count += other.count

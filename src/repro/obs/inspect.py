@@ -89,6 +89,15 @@ class TraceSummary:
     ida_adjusts: int = 0
     gc_passes: int = 0
     utilisation: dict[str, float] = field(default_factory=dict)
+    #: ``slo_breach`` events in trace order (emitted by a bound
+    #: :class:`~repro.obs.slo.SloEngine` when an error budget empties).
+    slo_breaches: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``inspect --format json`` output)."""
+        from dataclasses import asdict
+
+        return asdict(self)
 
 
 def summarize_trace(events: Sequence[dict], top: int = 10) -> TraceSummary:
@@ -111,6 +120,8 @@ def summarize_trace(events: Sequence[dict], top: int = 10) -> TraceSummary:
             summary.ida_adjusts += 1
         elif kind == "gc":
             summary.gc_passes += 1
+        elif kind == "slo_breach":
+            summary.slo_breaches.append(event)
         elif kind == "run_end":
             summary.utilisation = event.get("utilisation", {})
     summary.read_count = len(reads)
@@ -178,6 +189,21 @@ def format_trace_summary(events: Sequence[dict], top: int = 10) -> str:
             f"{summary.refresh_blocks} refreshes "
             f"({summary.refresh_pages_moved} pages moved), "
             f"{summary.ida_adjusts} IDA wordline adjustments"
+        )
+    if summary.slo_breaches:
+        lines.append(f"SLO breaches: {len(summary.slo_breaches)}")
+        rows = [
+            [
+                event.get("objective", "?"),
+                f"{event.get('t_us', 0.0):.0f}",
+                f"{event.get('value', 0.0):.3g}",
+                f"{event.get('threshold', 0.0):.3g}",
+                f"{event.get('burn_rate', 0.0):.2f}",
+            ]
+            for event in summary.slo_breaches
+        ]
+        lines.append(
+            _table(["objective", "time_us", "value", "threshold", "burn"], rows)
         )
     if summary.utilisation:
         rows = [[name, f"{value:.1%}"] for name, value in sorted(summary.utilisation.items())]

@@ -99,6 +99,7 @@ class IntervalCollector:
         self._dies: list = []
         self._channels: list = []
         self._profiler = None
+        self._health = None
         self._running = False
         self._reset_interval_counters(0.0)
 
@@ -119,6 +120,16 @@ class IntervalCollector:
         grid instead of inventing a second clock.
         """
         self._profiler = profiler
+
+    def attach_health(self, health) -> None:
+        """Drive a health monitor from this collector's cadence.
+
+        Each closed interval also closes one
+        :class:`~repro.obs.health.HealthMonitor` sample, so the health
+        trajectory shares the run's sampling grid with the latency
+        time-series and profiler timelines.
+        """
+        self._health = health
 
     def start(self) -> None:
         """Begin sampling from the engine's current time."""
@@ -177,6 +188,10 @@ class IntervalCollector:
         elapsed = now - self._interval_start
         if self._profiler is not None:
             self._profiler.sample_interval(self._interval_start, now)
+        if self._health is not None:
+            # Sampled before the interval histogram resets so the health
+            # snapshot sees this interval's read-latency distribution.
+            self._health.sample(self._interval_start, now, self._read_hist)
         die_busy, chan_busy = self._busy_totals()
 
         def util(busy: float, baseline: float, n: int) -> float:

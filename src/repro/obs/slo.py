@@ -1,0 +1,220 @@
+"""Sim-time SLO engine: declarative objectives with error budgets.
+
+An :class:`SloObjective` states a promise about an observed health
+metric — "read p99 stays at or under 600 us over a rolling 2 s window,
+with at most 10% of that window in violation".  The :class:`SloEngine`
+evaluates every objective once per health-sampling interval: each
+interval contributes ``violated`` time when the metric exceeds the
+threshold, a rolling window retains recent intervals, and the error
+budget is the fraction of the window allowed to be in violation.
+
+When the consumed budget reaches 1.0 a **breach event** fires: it is
+emitted through the run's tracer (kind ``slo_breach``) and recorded for
+the manifest, with the instantaneous *burn rate* (violation rate divided
+by the budget rate — burn rate 1.0 means "exactly exhausting the budget
+if this keeps up", >1 means faster).  A breach ends when consumption
+falls back below the recovery fraction, so one long violation produces
+one breach event, not one per interval.
+
+Objectives are frozen dataclasses and the engine is rebuilt worker-side
+from them, so SLO checking fans out across ``--jobs`` pools exactly like
+fault plans do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SloObjective", "SloEngine", "DEFAULT_READ_P99_SLO"]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative service-level objective, picklable by construction.
+
+    Attributes:
+        name: Label the breach events and summaries carry.
+        metric: Key into the health sample's value dict (e.g.
+            ``"read_p99_us"``, ``"read_mean_us"``, ``"read_retry_rate"``,
+            ``"refresh_backlog"``).
+        threshold: The objective is violated while ``value > threshold``.
+        window_us: Rolling window the error budget is accounted over.
+        budget: Fraction of the window allowed in violation (0 < b <= 1).
+        recovery: Budget-consumption fraction below which an active
+            breach clears (hysteresis; must be < 1).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    window_us: float
+    budget: float = 0.1
+    recovery: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("objective needs a name")
+        if not self.metric:
+            raise ValueError("objective needs a metric key")
+        if self.window_us <= 0:
+            raise ValueError("window_us must be positive")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+        if not 0.0 <= self.recovery < 1.0:
+            raise ValueError("recovery must be in [0, 1)")
+
+
+#: The paper-flavoured default: reads stay responsive over a window two
+#: refresh scans long.  Artifact code overrides threshold/window per
+#: scale; this exists so ``SloEngine(objectives=None)`` means something.
+DEFAULT_READ_P99_SLO = SloObjective(
+    name="read-p99",
+    metric="read_p99_us",
+    threshold=600.0,
+    window_us=2_000_000.0,
+    budget=0.1,
+)
+
+
+class _ObjectiveState:
+    """Rolling-window accounting for one objective."""
+
+    __slots__ = (
+        "objective",
+        "window",
+        "violated_us",
+        "observed_us",
+        "total_violated_us",
+        "total_observed_us",
+        "violations",
+        "breaching",
+        "breaches",
+        "worst_burn_rate",
+    )
+
+    def __init__(self, objective: SloObjective) -> None:
+        self.objective = objective
+        # (start_us, end_us, violated_duration_us) per observed interval.
+        self.window: deque[tuple[float, float, float]] = deque()
+        self.violated_us = 0.0
+        self.observed_us = 0.0
+        self.total_violated_us = 0.0
+        self.total_observed_us = 0.0
+        self.violations = 0
+        self.breaching = False
+        self.breaches: list[dict] = []
+        self.worst_burn_rate = 0.0
+
+    def observe(self, start_us: float, end_us: float, value: float) -> dict | None:
+        duration = max(0.0, end_us - start_us)
+        violated = duration if value > self.objective.threshold else 0.0
+        if violated:
+            self.violations += 1
+        self.window.append((start_us, end_us, violated))
+        self.violated_us += violated
+        self.observed_us += duration
+        self.total_violated_us += violated
+        self.total_observed_us += duration
+        cutoff = end_us - self.objective.window_us
+        while self.window and self.window[0][1] <= cutoff:
+            self.violated_us -= self.window.popleft()[2]
+        # Recompute observed time in window from retained entries: entries
+        # are whole intervals, so partial-overlap precision is one sample
+        # wide — fine at the collector cadence the engine runs at.
+        self.observed_us = sum(e - s for s, e, _ in self.window)
+        budget_us = self.objective.window_us * self.objective.budget
+        consumed = self.violated_us / budget_us if budget_us > 0 else 0.0
+        burn_rate = (
+            (self.violated_us / self.observed_us) / self.objective.budget
+            if self.observed_us > 0
+            else 0.0
+        )
+        self.worst_burn_rate = max(self.worst_burn_rate, burn_rate)
+        if not self.breaching and consumed >= 1.0:
+            self.breaching = True
+            breach = {
+                "objective": self.objective.name,
+                "metric": self.objective.metric,
+                "time_us": end_us,
+                "value": value,
+                "threshold": self.objective.threshold,
+                "budget_consumed": consumed,
+                "burn_rate": burn_rate,
+            }
+            self.breaches.append(breach)
+            return breach
+        if self.breaching and consumed < self.objective.recovery:
+            self.breaching = False
+        return None
+
+    def summary(self) -> dict:
+        return {
+            "objective": self.objective.name,
+            "metric": self.objective.metric,
+            "threshold": self.objective.threshold,
+            "window_us": self.objective.window_us,
+            "budget": self.objective.budget,
+            "observed_us": self.total_observed_us,
+            "violated_us": self.total_violated_us,
+            "violating_intervals": self.violations,
+            "worst_burn_rate": self.worst_burn_rate,
+            "breaching": self.breaching,
+            "breaches": list(self.breaches),
+        }
+
+
+class SloEngine:
+    """Evaluates a set of objectives against periodic health samples.
+
+    Construct with the objectives, optionally :meth:`bind_tracer`, then
+    feed :meth:`observe` once per interval with the sample's value dict.
+    A metric absent from the values (e.g. ``read_p99_us`` in an interval
+    that completed no reads) is skipped — no reads is not a violation.
+    """
+
+    def __init__(self, objectives: "tuple[SloObjective, ...] | list[SloObjective] | None" = None):
+        if objectives is None:
+            objectives = (DEFAULT_READ_P99_SLO,)
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self._states = [_ObjectiveState(o) for o in objectives]
+        self._tracer = None
+
+    @property
+    def objectives(self) -> tuple[SloObjective, ...]:
+        return tuple(state.objective for state in self._states)
+
+    def bind_tracer(self, tracer) -> None:
+        """Route breach events into a run's tracer (``slo_breach`` kind)."""
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+
+    def observe(self, start_us: float, end_us: float, values: dict) -> list[dict]:
+        """Account one interval; returns breach events fired by it."""
+        fired: list[dict] = []
+        for state in self._states:
+            value = values.get(state.objective.metric)
+            if value is None:
+                continue
+            breach = state.observe(start_us, end_us, value)
+            if breach is not None:
+                fired.append(breach)
+                if self._tracer is not None:
+                    # The positional time argument already lands in the
+                    # event as ``t_us``; passing ``time_us`` through the
+                    # kwargs too would collide with the parameter name.
+                    fields = {k: v for k, v in breach.items() if k != "time_us"}
+                    self._tracer.emit(end_us, "slo_breach", **fields)
+        return fired
+
+    @property
+    def breach_count(self) -> int:
+        return sum(len(state.breaches) for state in self._states)
+
+    def summary(self) -> dict:
+        """Per-objective accounting, JSON-ready for manifests."""
+        return {
+            "objectives": [state.summary() for state in self._states],
+            "breaches": self.breach_count,
+        }

@@ -116,6 +116,20 @@ class Resource:
         """Operations waiting (not counting the one in service)."""
         return sum(len(q) for q in self._queues)
 
+    def queued_by_class(self) -> dict[str, int]:
+        """Waiting ops per dispatch class (telemetry sampling only).
+
+        Depths are counted by each op's *dispatch* class even when the
+        scheduling policy collapses several classes into one queue
+        (FCFS), so the breakdown answers "whose work is waiting" rather
+        than "which queue is long".
+        """
+        depths = {priority.name.lower(): 0 for priority in IoPriority}
+        for queue in self._queues:
+            for op in queue:
+                depths[op.klass.name.lower()] += 1
+        return depths
+
     def submit(
         self,
         priority: IoPriority,

@@ -101,6 +101,13 @@ class SsdSimulator:
             the default — costs one ``is None`` check per dispatched op,
             the same zero-cost off-path discipline as the observability
             hooks.
+        health: Optional :class:`~repro.obs.health.HealthMonitor`; bound
+            to this simulator and sampled on the collector's cadence
+            (pass a ``collector`` too, or no snapshots close).  When the
+            monitor carries a metrics registry, the simulator and FTL
+            additionally publish live counters/histograms into it
+            (per-class latency, read retries, GC/refresh/wear activity).
+            Passive and ``None``-cost like every other hook.
     """
 
     def __init__(
@@ -118,6 +125,7 @@ class SsdSimulator:
         collector: IntervalCollector | None = None,
         profiler=None,
         faults: FaultPlan | None = None,
+        health=None,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
@@ -180,6 +188,32 @@ class SsdSimulator:
         self.faults = FaultInjector(faults) if faults is not None else None
         if self.faults is not None:
             self.faults.bind(self)
+        # Device-health telemetry: the monitor samples on the collector's
+        # cadence; a registry riding on it additionally receives live
+        # per-class latency and retry publishes from the hot path (one
+        # ``is None`` check each when telemetry is off).
+        self.health = health
+        self._lat_read = None
+        self._lat_write = None
+        self._retry_counter = None
+        if self.health is not None:
+            self.health.bind(self)
+            if self.collector is not None:
+                self.collector.attach_health(self.health)
+            registry = self.health.registry
+            if registry is not None:
+                latency = registry.histogram(
+                    "host_latency_us",
+                    "host request response time",
+                    labels=("request_class",),
+                )
+                self._lat_read = latency.labels(request_class="read")
+                self._lat_write = latency.labels(request_class="write")
+                self._retry_counter = registry.counter(
+                    "flash_read_retries_total",
+                    "extra sensing passes forced by failed LDPC decodes",
+                ).unlabeled
+                self.ftl.bind_telemetry(registry)
 
     # ------------------------------------------------------------------
     # Preconditioning
@@ -281,6 +315,9 @@ class SsdSimulator:
                 else self.collector.record_write
             )
         )
+        observe_latency = (
+            self._lat_read if klass is IoPriority.HOST_READ else self._lat_write
+        )
 
         def complete(req: HostRequest, now_us: float) -> None:
             response = now_us - req.arrival_us + self.timing.host_overhead_us
@@ -291,6 +328,8 @@ class SsdSimulator:
                 self.metrics.bytes_written += req.size_bytes
             if record_interval is not None:
                 record_interval(response, req.size_bytes)
+            if observe_latency is not None:
+                observe_latency.observe(response)
             if span is not None:
                 span.emit(self.tracer, span_kind, now_us, self.timing.host_overhead_us)
             if prof_ctx is not None:
@@ -379,6 +418,8 @@ class SsdSimulator:
                     retries = self.retry_model.max_retries
                 if retries:
                     self.metrics.read_retries += retries
+                    if self._retry_counter is not None:
+                        self._retry_counter.inc(retries)
                     if self.faults is not None:
                         self.faults.note_read_retries(op, retries)
             stages = self._planner.read(die_index, die, channel, op.senses, 1 + retries)

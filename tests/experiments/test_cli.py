@@ -261,3 +261,108 @@ class TestProfileSubcommand:
     def test_profile_rejects_bad_interval(self):
         with pytest.raises(SystemExit):
             main(["profile", "--interval-us", "-5"])
+
+
+class TestHealthArtifactCli:
+    def test_health_artifact_with_json_and_prom(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "health.json"
+        prom_path = tmp_path / "health.prom"
+        code = main(
+            [
+                "health",
+                "--scale",
+                "tiny",
+                "--workloads",
+                "hm_1",
+                "--json-out",
+                str(json_path),
+                "--prom",
+                str(prom_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO breaches" in out
+        assert "retry-rate [" in out
+        data = json.loads(json_path.read_text())
+        assert data["kind"] == "health_artifact"
+        assert len(data["cells"]) == 4
+        prom = prom_path.read_text()
+        assert "# TYPE device_wear_p99_erases gauge" in prom
+        assert 'condition="faulted"' in prom
+
+    def test_prom_rejected_for_unsupported_artifact(self):
+        with pytest.raises(SystemExit, match="--prom is not supported"):
+            main(["faults", "--scale", "tiny", "--prom", "x.prom"])
+
+    def test_prom_rejected_for_all(self):
+        with pytest.raises(SystemExit, match="single artifact"):
+            main(["all", "--scale", "tiny", "--prom", "x.prom"])
+
+
+class TestRunHealthFlag:
+    def test_run_with_health_prints_summary_and_manifest(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "run.json"
+        code = main(
+            [
+                "run", "--scale", "tiny", "--health", "--report", str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health:" in out
+        assert "slo   :" in out
+        manifest = json.loads(report.read_text())
+        assert manifest["schema_version"] == manifest["schema"]
+        health = manifest["health"]
+        assert health["summary"]["samples"] > 0
+        assert health["slo"]["objectives"]
+        assert health["registry"]["metrics"]
+
+    def test_run_health_pool_matches_inline(self, capsys, tmp_path):
+        import json
+
+        inline, pooled = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["run", "--scale", "tiny", "--health",
+                     "--report", str(inline)]) == 0
+        assert main(["run", "--scale", "tiny", "--health", "--jobs", "2",
+                     "--report", str(pooled)]) == 0
+        capsys.readouterr()
+        a = json.loads(inline.read_text())
+        b = json.loads(pooled.read_text())
+        assert a["health"] == b["health"]
+
+    def test_run_without_health_omits_key(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "run.json"
+        assert main(["run", "--scale", "tiny", "--report", str(report)]) == 0
+        capsys.readouterr()
+        manifest = json.loads(report.read_text())
+        assert "health" not in manifest
+        assert manifest["schema_version"] == manifest["schema"]
+
+
+class TestInspectJsonFormat:
+    def test_inspect_format_json(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", "--scale", "tiny", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace), "--format", "json", "--top", "2"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["read_count"] > 0
+        assert len(summary["slowest_reads"]) == 2
+        assert "slo_breaches" in summary
+        assert summary["event_counts"]["read_span"] == summary["read_count"]
+
+    def test_inspect_json_rejects_last(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("")
+        with pytest.raises(SystemExit, match="text-only"):
+            main(["inspect", str(trace), "--last", "2", "--format", "json"])

@@ -54,6 +54,22 @@ class TestRunUnit:
         unit = _unit(seed=7, mode="closed", queue_depth=8)
         assert pickle.loads(pickle.dumps(unit)) == unit
 
+    def test_slo_requires_health(self) -> None:
+        from repro.obs.slo import DEFAULT_READ_P99_SLO
+
+        with pytest.raises(ValueError, match="health"):
+            _unit(slo=(DEFAULT_READ_P99_SLO,))
+
+    def test_health_unit_is_picklable_and_builds_monitor(self) -> None:
+        from repro.obs.slo import DEFAULT_READ_P99_SLO
+
+        unit = _unit(health=True, slo=(DEFAULT_READ_P99_SLO,))
+        assert pickle.loads(pickle.dumps(unit)) == unit
+        monitor = unit.build_health()
+        assert monitor.registry is not None
+        assert monitor.slo.objectives == (DEFAULT_READ_P99_SLO,)
+        assert _unit().build_health() is None
+
 
 class TestPayloadRoundTrip:
     @pytest.fixture(scope="class")

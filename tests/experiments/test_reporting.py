@@ -113,6 +113,23 @@ class TestRunManifest:
         assert "utilisation" not in manifest
         assert "time_series" not in manifest
 
+    def test_schema_version_alias_always_present(self):
+        # "schema_version" is the externally-documented spelling; it
+        # mirrors "schema" so downstream consumers can key on either.
+        manifest = build_run_manifest({"system": "baseline"}, _metrics())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["schema_version"] == manifest["schema"]
+
+    def test_health_section_absent_unless_monitored(self):
+        manifest = build_run_manifest({"system": "baseline"}, _metrics())
+        assert "health" not in manifest
+        monitored = build_run_manifest(
+            {"system": "baseline"},
+            _metrics(),
+            health={"schema": 1, "summary": {"samples": 3}, "series": []},
+        )
+        assert monitored["health"]["summary"]["samples"] == 3
+
     def test_optional_sections(self):
         manifest = build_run_manifest(
             {"system": "x"},

@@ -1,0 +1,172 @@
+"""Tests for the device-health monitor (repro.obs.health)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_workload
+from repro.experiments.systems import ida
+from repro.obs.health import HEALTH_SCHEMA, HealthMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloEngine, SloObjective
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def monitored_run(request):
+    from repro.experiments.config import RunScale
+
+    scale = RunScale(
+        num_requests=400,
+        footprint_pages=4000,
+        blocks_per_plane=12,
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+    )
+    monitor = HealthMonitor(
+        registry=MetricsRegistry(),
+        slo=SloEngine(
+            [
+                SloObjective(
+                    name="loose",
+                    metric="read_p99_us",
+                    threshold=1e9,
+                    window_us=1e6,
+                )
+            ]
+        ),
+    )
+    result = run_workload(ida(0.2), workload("usr_1"), scale, health=monitor)
+    return monitor, result
+
+
+class TestConstruction:
+    def test_block_groups_validated(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(block_groups=0)
+
+    def test_unbound_sample_raises(self):
+        with pytest.raises(RuntimeError, match="not bound"):
+            HealthMonitor().sample(0.0, 100.0)
+
+
+class TestMonitoredRun(object):
+    def test_series_collected_in_time_order(self, monitored_run):
+        monitor, _ = monitored_run
+        series = monitor.series()
+        assert len(series) >= 8  # auto-collector carves ~16 intervals
+        ends = [snap["end_us"] for snap in series]
+        assert ends == sorted(ends)
+        assert all(s["start_us"] < s["end_us"] for s in series)
+
+    def test_snapshots_show_device_activity(self, monitored_run):
+        monitor, result = monitored_run
+        final = monitor.snapshots[-1]
+        assert final.wear["max"] > 0
+        assert final.in_use_blocks > 0
+        assert sum(s.reads for s in monitor.snapshots) > 0
+        assert any(s.gc_invocations for s in monitor.snapshots) or any(
+            s.refresh_invocations for s in monitor.snapshots
+        )
+        # IDA system under refresh pressure exposes adjusted blocks.
+        assert any(s.ida_exposure > 0 for s in monitor.snapshots)
+
+    def test_summary_aggregates(self, monitored_run):
+        monitor, _ = monitored_run
+        summary = monitor.summary()
+        assert summary["schema"] == HEALTH_SCHEMA
+        assert summary["samples"] == len(monitor.snapshots)
+        assert summary["wear"] == monitor.snapshots[-1].wear
+        assert summary["read_retries"] == sum(
+            s.read_retries for s in monitor.snapshots
+        )
+        assert summary["max_est_rber"] > 0.0
+
+    def test_payload_is_json_ready_and_complete(self, monitored_run):
+        monitor, result = monitored_run
+        payload = monitor.to_payload()
+        assert set(payload) == {"schema", "summary", "series", "slo", "registry"}
+        json.dumps(payload)
+        assert result.health == payload
+
+    def test_gauges_published_to_registry(self, monitored_run):
+        monitor, _ = monitored_run
+        snap = monitor.registry.snapshot()["metrics"]
+        final = monitor.snapshots[-1]
+        assert (
+            snap["device_wear_p99_erases"]["samples"][0]["value"]
+            == final.wear["p99"]
+        )
+        assert snap["device_ida_exposure"]["samples"][0]["value"] == pytest.approx(
+            final.ida_exposure
+        )
+        # Per-group RBER gauge is labeled by block_group.
+        rber_samples = snap["device_estimated_rber"]["samples"]
+        assert len(rber_samples) == monitor.block_groups
+
+    def test_sim_owned_counters_in_same_registry(self, monitored_run):
+        monitor, result = monitored_run
+        snap = monitor.registry.snapshot()["metrics"]
+        assert (
+            snap["ftl_block_erases_total"]["samples"][0]["value"]
+            == result.metrics.block_erases
+        )
+        assert "host_latency_us" in snap
+        assert (
+            snap["host_latency_us"]["samples"][0]["labels"]["request_class"]
+            == "read"
+        )
+
+    def test_loose_slo_never_breaches(self, monitored_run):
+        monitor, _ = monitored_run
+        assert monitor.slo.breach_count == 0
+        payload = monitor.to_payload()
+        assert payload["slo"]["breaches"] == 0
+
+    def test_read_latency_tracks_interval_histogram(self, monitored_run):
+        monitor, _ = monitored_run
+        busy = [s for s in monitor.snapshots if s.read_latency.get("count")]
+        assert busy
+        for snap in busy:
+            lat = snap.read_latency
+            assert lat["p50_us"] <= lat["p99_us"] <= lat["max_us"]
+
+
+class TestEccTelemetry:
+    def test_decode_outcomes_published(self):
+        import numpy as np
+
+        from repro.ecc.engine import EccEngine
+
+        registry = MetricsRegistry()
+        engine = EccEngine()
+        engine.bind_telemetry(registry)
+        data = np.zeros(engine.codec_data_bits, dtype=np.uint8)
+        clean = engine.encode(data)
+        engine.decode(clean)
+        flipped = clean.copy()
+        flipped[0] ^= 1
+        engine.decode(flipped)
+        double = clean.copy()
+        double[0] ^= 1
+        double[1] ^= 1
+        engine.decode(double)
+        snap = registry.snapshot()["metrics"]
+        assert snap["ecc_decodes_total"]["samples"][0]["value"] == 3
+        assert snap["ecc_corrected_total"]["samples"][0]["value"] == 1
+        assert snap["ecc_uncorrectable_total"]["samples"][0]["value"] == 1
+        assert (engine.decodes, engine.corrected, engine.uncorrectable) == (3, 1, 1)
+
+
+class TestWithoutRegistry:
+    def test_monitor_works_bare(self, tiny_scale):
+        monitor = HealthMonitor()
+        run_workload(ida(0.2), workload("usr_1"), tiny_scale, health=monitor)
+        payload = monitor.to_payload()
+        assert "registry" not in payload
+        assert "slo" not in payload
+        assert payload["series"]

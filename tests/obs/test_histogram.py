@@ -96,6 +96,34 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram([10.0]).merge(Histogram([20.0]))
 
+    def test_values_on_bucket_boundaries_land_inclusive(self):
+        # le-semantics: a value exactly on bounds[i] belongs to bucket i,
+        # matching the Prometheus cumulative-bucket convention.
+        hist = Histogram([10.0, 100.0, 1000.0])
+        for value in (10.0, 100.0, 1000.0):
+            hist.add(value)
+        assert hist.counts == [1, 1, 1, 0]
+        hist.add(0.0)  # zero is valid and lands in the first bucket
+        assert hist.counts == [2, 1, 1, 0]
+
+    def test_mismatch_errors_name_both_shapes(self):
+        with pytest.raises(ValueError, match=r"merge.*1 bounds \[10 \.\. 10\] vs 2 bounds \[20 \.\. 30\]"):
+            Histogram([10.0]).merge(Histogram([20.0, 30.0]))
+        with pytest.raises(ValueError, match="compare"):
+            Histogram([10.0]) == Histogram([20.0])
+
+    def test_eq_same_bounds(self):
+        a = Histogram([10.0, 100.0])
+        b = Histogram([10.0, 100.0])
+        a.add(5.0)
+        assert a != b
+        b.add(5.0)
+        assert a == b
+
+    def test_eq_non_histogram_is_not_implemented(self):
+        assert Histogram([10.0]).__eq__(42) is NotImplemented
+        assert Histogram([10.0]) != 42
+
     def test_merge_empty_keeps_min_max(self):
         a = Histogram([10.0])
         a.add(4.0)

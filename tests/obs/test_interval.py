@@ -155,3 +155,88 @@ class TestIntervalCollector:
         summary = collector.summary()
         assert summary["intervals"] == 0
         assert summary["peak_read_throughput_mb_s"] == 0.0
+
+
+class TestEdgeCases:
+    def test_empty_intervals_still_emitted(self):
+        # A long quiet stretch produces empty snapshots, not a gap: the
+        # time-series grid stays uniform so plots can trust the x-axis.
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        engine.at(50.0, lambda: collector.record_read(42.0, 4096))
+        engine.at(450.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        reads = [s.reads_completed for s in collector.snapshots]
+        assert reads == [1, 0, 0, 0, 0]  # 4 full intervals + partial tail
+        for snap in collector.snapshots[1:]:
+            assert snap.read_latency["count"] == 0
+            assert snap.bytes_read == 0
+
+    def test_sample_exactly_on_interval_boundary(self):
+        # A completion scheduled exactly at a tick time lands in one
+        # interval, not both and not neither.
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        engine.at(100.0, lambda: collector.record_read(42.0, 4096))
+        engine.at(250.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        total = sum(s.reads_completed for s in collector.snapshots)
+        assert total == 1
+        assert collector.read_latency_total.count == 1
+        spans = [(s.start_us, s.end_us) for s in collector.snapshots]
+        assert spans == [(0.0, 100.0), (100.0, 200.0), (200.0, 250.0)]
+
+    def test_run_shorter_than_one_interval_closes_single_partial(self):
+        engine, _, _, collector = bound_collector(interval_us=1000.0)
+        engine.at(42.0, lambda: collector.record_read(10.0, 4096))
+        collector.start()
+        engine.run()
+        collector.finish()
+        assert [(s.start_us, s.end_us) for s in collector.snapshots] == [(0.0, 42.0)]
+        assert collector.snapshots[0].reads_completed == 1
+
+    def test_run_ending_exactly_on_boundary_has_no_empty_tail(self):
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        engine.at(200.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        spans = [(s.start_us, s.end_us) for s in collector.snapshots]
+        assert spans == [(0.0, 100.0), (100.0, 200.0)]
+
+    def test_finish_after_drain_does_not_double_close(self):
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        engine.at(250.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        count = len(collector.snapshots)
+        collector.finish()
+        assert len(collector.snapshots) == count
+
+
+class TestAttachHealth:
+    class FakeHealth:
+        def __init__(self):
+            self.samples = []
+
+        def sample(self, start_us, end_us, read_hist=None):
+            self.samples.append((start_us, end_us, read_hist.count))
+
+    def test_health_sampled_once_per_interval_before_reset(self):
+        engine, _, _, collector = bound_collector(interval_us=100.0)
+        health = self.FakeHealth()
+        collector.attach_health(health)
+        engine.at(50.0, lambda: collector.record_read(42.0, 4096))
+        engine.at(250.0, lambda: None)
+        collector.start()
+        engine.run()
+        collector.finish()
+        # Same grid as the snapshots, and the first sample saw this
+        # interval's (pre-reset) read histogram.
+        assert [(s, e) for s, e, _ in health.samples] == [
+            (snap.start_us, snap.end_us) for snap in collector.snapshots
+        ]
+        assert [n for _, _, n in health.samples] == [1, 0, 0]

@@ -1,0 +1,183 @@
+"""Tests for the sim-time SLO engine (repro.obs.slo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import DEFAULT_READ_P99_SLO, SloEngine, SloObjective
+from repro.obs.tracer import NULL_TRACER, JsonlSink, Tracer, read_jsonl_trace
+
+
+def objective(**overrides) -> SloObjective:
+    base = dict(
+        name="lat",
+        metric="read_p99_us",
+        threshold=100.0,
+        window_us=1000.0,
+        budget=0.1,
+    )
+    base.update(overrides)
+    return SloObjective(**base)
+
+
+class TestObjectiveValidation:
+    def test_default_is_valid(self):
+        assert DEFAULT_READ_P99_SLO.metric == "read_p99_us"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"name": ""},
+            {"metric": ""},
+            {"window_us": 0.0},
+            {"window_us": -1.0},
+            {"budget": 0.0},
+            {"budget": 1.5},
+            {"recovery": 1.0},
+            {"recovery": -0.1},
+        ],
+    )
+    def test_invalid_fields_rejected(self, bad):
+        with pytest.raises(ValueError):
+            objective(**bad)
+
+    def test_objectives_are_hashable_frozen(self):
+        assert objective() == objective()
+        {objective()}
+
+
+class TestBreachTransitions:
+    def test_breach_fires_once_when_budget_exhausts(self):
+        # Budget allows 100 us of violation in a 1000 us window; each
+        # violating interval is 100 us so the first one exhausts it.
+        engine = SloEngine([objective()])
+        fired = engine.observe(0.0, 100.0, {"read_p99_us": 500.0})
+        assert len(fired) == 1
+        breach = fired[0]
+        assert breach["objective"] == "lat"
+        assert breach["value"] == 500.0
+        assert breach["threshold"] == 100.0
+        assert breach["budget_consumed"] >= 1.0
+        # Still violating: no new event while the breach is active.
+        assert engine.observe(100.0, 200.0, {"read_p99_us": 500.0}) == []
+        assert engine.breach_count == 1
+
+    def test_healthy_samples_never_breach(self):
+        engine = SloEngine([objective()])
+        for i in range(20):
+            assert engine.observe(i * 100.0, (i + 1) * 100.0, {"read_p99_us": 50.0}) == []
+        assert engine.breach_count == 0
+
+    def test_value_equal_to_threshold_is_not_violation(self):
+        engine = SloEngine([objective()])
+        assert engine.observe(0.0, 100.0, {"read_p99_us": 100.0}) == []
+        assert engine.breach_count == 0
+
+    def test_recovery_hysteresis_allows_second_breach(self):
+        # One violating interval consumes the whole budget.  After enough
+        # healthy time the violation leaves the rolling window, consumption
+        # drops below recovery (0.5), and a later violation breaches again.
+        engine = SloEngine([objective()])
+        assert len(engine.observe(0.0, 100.0, {"read_p99_us": 500.0})) == 1
+        t = 100.0
+        while t < 1200.0:
+            engine.observe(t, t + 100.0, {"read_p99_us": 10.0})
+            t += 100.0
+        fired = engine.observe(t, t + 100.0, {"read_p99_us": 500.0})
+        assert len(fired) == 1
+        assert engine.breach_count == 2
+
+    def test_window_eviction_bounds_consumption(self):
+        # Violations older than the window stop counting: with a 1000 us
+        # window and a violation at [0, 100], by t=1200 it is evicted.
+        engine = SloEngine([objective(budget=0.5)])
+        engine.observe(0.0, 100.0, {"read_p99_us": 500.0})
+        t = 100.0
+        while t < 1500.0:
+            engine.observe(t, t + 100.0, {"read_p99_us": 10.0})
+            t += 100.0
+        summary = engine.summary()["objectives"][0]
+        assert summary["breaching"] is False
+        assert summary["violating_intervals"] == 1
+
+    def test_burn_rate_reflects_violation_fraction(self):
+        # 1 of 10 intervals violating with budget 0.1 → burn rate 1.0.
+        engine = SloEngine([objective(budget=0.5)])
+        engine.observe(0.0, 100.0, {"read_p99_us": 500.0})
+        for i in range(1, 10):
+            engine.observe(i * 100.0, (i + 1) * 100.0, {"read_p99_us": 10.0})
+        summary = engine.summary()["objectives"][0]
+        assert summary["worst_burn_rate"] == pytest.approx(2.0)  # 1.0 / 0.5
+
+
+class TestEngine:
+    def test_default_objectives(self):
+        assert SloEngine().objectives == (DEFAULT_READ_P99_SLO,)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine([objective(), objective(threshold=5.0)])
+
+    def test_missing_metric_skipped(self):
+        # An interval with no completed reads has no read_p99_us; absence
+        # is not a violation and must not throw.
+        engine = SloEngine([objective()])
+        assert engine.observe(0.0, 100.0, {}) == []
+        summary = engine.summary()["objectives"][0]
+        assert summary["observed_us"] == 0.0
+
+    def test_multiple_objectives_evaluated_independently(self):
+        engine = SloEngine(
+            [
+                objective(name="tight", threshold=10.0),
+                objective(name="loose", threshold=10_000.0),
+            ]
+        )
+        fired = engine.observe(0.0, 100.0, {"read_p99_us": 500.0})
+        assert [b["objective"] for b in fired] == ["tight"]
+
+    def test_summary_shape(self):
+        engine = SloEngine([objective()])
+        engine.observe(0.0, 100.0, {"read_p99_us": 500.0})
+        summary = engine.summary()
+        assert summary["breaches"] == 1
+        entry = summary["objectives"][0]
+        for key in (
+            "objective",
+            "metric",
+            "threshold",
+            "window_us",
+            "budget",
+            "observed_us",
+            "violated_us",
+            "violating_intervals",
+            "worst_burn_rate",
+            "breaching",
+            "breaches",
+        ):
+            assert key in entry
+        assert entry["breaches"][0]["time_us"] == 100.0
+
+
+class TestTracerIntegration:
+    def test_breach_emitted_as_slo_breach_event(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(trace_path))
+        engine = SloEngine([objective()])
+        engine.bind_tracer(tracer)
+        engine.observe(0.0, 100.0, {"read_p99_us": 500.0})
+        tracer.close()
+        events = [e for e in read_jsonl_trace(trace_path) if e["kind"] == "slo_breach"]
+        assert len(events) == 1
+        event = events[0]
+        assert event["t_us"] == 100.0
+        assert event["objective"] == "lat"
+        assert event["value"] == 500.0
+        assert "time_us" not in event  # positional time wins; no collision
+
+    def test_disabled_tracer_not_bound(self):
+        engine = SloEngine([objective()])
+        engine.bind_tracer(NULL_TRACER)
+        # Breach still fires and is recorded; it just isn't emitted.
+        assert engine.observe(0.0, 100.0, {"read_p99_us": 500.0})
+        assert engine._tracer is None
