@@ -238,6 +238,10 @@ def _build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--policy", default="read-first",
                         help="scheduling policy: read-first (paper default), "
                              "fcfs, or throttled")
+    parser.add_argument("--backend", default="reference",
+                        help="execution backend: reference (event-at-a-time "
+                             "default) or batch (vectorized; identical "
+                             "results, faster wall-clock)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a JSONL event trace to PATH")
     parser.add_argument("--interval-us", type=float, default=None, metavar="N",
@@ -277,6 +281,13 @@ def _cmd_run(argv: list[str]) -> int:
         system = system.with_policy(args.policy)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    from .sim.backends import ENGINE_BACKENDS
+
+    if args.backend not in ENGINE_BACKENDS:
+        raise SystemExit(
+            f"unknown backend {args.backend!r}; "
+            f"choose one of: {', '.join(sorted(ENGINE_BACKENDS))}"
+        )
     try:
         spec = workload(args.workload)
     except KeyError as exc:
@@ -305,6 +316,7 @@ def _cmd_run(argv: list[str]) -> int:
         result = run_workload(
             system, spec, scale, seed=args.seed, tracer=tracer,
             collector=collector, faults=plan, health=health,
+            backend=args.backend,
         )
         payload = result.to_payload()
     else:
@@ -315,7 +327,7 @@ def _cmd_run(argv: list[str]) -> int:
             slo = (DEFAULT_READ_P99_SLO,)
         unit = RunUnit(
             system, args.workload, scale, seed=args.seed, faults=plan,
-            health=args.health, slo=slo,
+            health=args.health, slo=slo, backend=args.backend,
         )
         payload = SweepExecutor(jobs=args.jobs).map([unit])[0]
     elapsed = time.time() - started
@@ -363,7 +375,7 @@ def _cmd_run(argv: list[str]) -> int:
     if args.report:
         manifest = manifest_for_payload(
             payload, collector=collector, trace_path=args.trace,
-            jobs=args.jobs,
+            jobs=args.jobs, backend=args.backend,
         )
         path = write_run_manifest(manifest, args.report)
         print(f"  report: {path} (config {manifest['config_hash']})")

@@ -60,6 +60,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.profiler import SimProfiler
 from ..obs.slo import SloEngine, SloObjective
 from ..obs.tracer import Tracer
+from ..sim.backends import ENGINE_BACKENDS
 from ..workloads.msr import workload as _catalog_workload
 from ..workloads.synthetic import WorkloadSpec
 from .config import RunScale
@@ -122,6 +123,10 @@ class RunUnit:
             evaluate against the health trajectory (implies nothing by
             itself — only honoured when ``health`` is set).  Objectives
             are frozen dataclasses, picklable by construction.
+        backend: Execution-backend registry name (``"reference"`` /
+            ``"batch"``, see :mod:`repro.sim.backends`).  A pure
+            wall-clock knob like ``jobs``: results are byte-identical
+            across backends, so it is safe to flip on any sweep.
     """
 
     system: SystemSpec
@@ -134,6 +139,7 @@ class RunUnit:
     faults: FaultPlan | None = None
     health: bool = False
     slo: tuple[SloObjective, ...] | None = None
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -142,6 +148,12 @@ class RunUnit:
             )
         if self.slo is not None and not self.health:
             raise ValueError("slo objectives require health=True")
+        if self.backend not in ENGINE_BACKENDS:
+            valid = ", ".join(sorted(ENGINE_BACKENDS))
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"choose one of: {valid}"
+            )
 
     def build_health(self) -> HealthMonitor | None:
         """Worker-side health monitor for this unit (None when disabled)."""
@@ -209,6 +221,7 @@ def execute_unit(
             profiler=profiler,
             faults=unit.faults,
             health=health,
+            backend=unit.backend,
         ).to_payload()
     if unit.mode == "closed":
         return run_workload_closed_loop(
@@ -222,6 +235,7 @@ def execute_unit(
             profiler=profiler,
             faults=unit.faults,
             health=health,
+            backend=unit.backend,
         ).to_payload()
     return run_capacity_phase_pair(
         unit.system, spec, unit.scale, seed=unit.seed, faults=unit.faults

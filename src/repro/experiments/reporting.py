@@ -232,7 +232,7 @@ def _assemble_manifest(
 
 
 def _run_extras(refresh: dict, in_use_blocks: int, ida_blocks: int,
-                jobs: int | None) -> dict:
+                jobs: int | None, backend: str | None = None) -> dict:
     extra = {
         "refresh": {
             "blocks_refreshed": refresh["blocks_refreshed"],
@@ -241,11 +241,20 @@ def _run_extras(refresh: dict, in_use_blocks: int, ida_blocks: int,
         },
         "blocks": {"in_use": in_use_blocks, "ida": ida_blocks},
     }
-    if jobs is not None:
+    if jobs is not None or backend is not None:
         # Recorded outside ``config`` on purpose: the executor's fan-out
-        # width must not perturb the config hash (results are required
-        # to be identical at any job count).
-        extra["execution"] = {"jobs": jobs}
+        # width and the execution backend must not perturb the config
+        # hash (results are required to be identical at any job count
+        # and on any backend).
+        execution: dict = {}
+        if jobs is not None:
+            execution["jobs"] = jobs
+        if backend is not None:
+            from ..sim.accel import accel_active
+
+            execution["backend"] = backend
+            execution["numba_active"] = accel_active()
+        extra["execution"] = execution
     return extra
 
 
@@ -255,6 +264,7 @@ def manifest_for_run(
     collector: "IntervalCollector | None" = None,
     trace_path: str | Path | None = None,
     jobs: int | None = None,
+    backend: str | None = None,
 ) -> dict:
     """Manifest for one :class:`~repro.experiments.runner.RunResult`."""
     config = {
@@ -284,7 +294,7 @@ def manifest_for_run(
         faults=result.faults,
         health=result.health,
         extra=_run_extras(
-            refresh, result.in_use_blocks, result.ida_blocks, jobs
+            refresh, result.in_use_blocks, result.ida_blocks, jobs, backend
         ),
     )
 
@@ -295,6 +305,7 @@ def manifest_for_payload(
     collector: "IntervalCollector | None" = None,
     trace_path: str | Path | None = None,
     jobs: int | None = None,
+    backend: str | None = None,
 ) -> dict:
     """Manifest for one pool-transported run payload.
 
@@ -322,7 +333,8 @@ def manifest_for_payload(
         faults=payload.faults,
         health=payload.health,
         extra=_run_extras(
-            payload.refresh, payload.in_use_blocks, payload.ida_blocks, jobs
+            payload.refresh, payload.in_use_blocks, payload.ida_blocks, jobs,
+            backend,
         ),
     )
 

@@ -239,6 +239,7 @@ def build_simulator(
     profiler: SimProfiler | None = None,
     faults: FaultPlan | None = None,
     health: HealthMonitor | None = None,
+    backend: str | None = None,
 ) -> SsdSimulator:
     """Assemble a simulator for one system at one scale."""
     dev = _build_device(system, scale)
@@ -263,6 +264,7 @@ def build_simulator(
         profiler=profiler,
         faults=faults,
         health=health,
+        backend=backend,
     )
 
 
@@ -308,8 +310,14 @@ def run_workload(
     profiler: SimProfiler | None = None,
     faults: FaultPlan | None = None,
     health: HealthMonitor | None = None,
+    backend: str | None = None,
 ) -> RunResult:
-    """Execute one (system, workload) pair end to end."""
+    """Execute one (system, workload) pair end to end.
+
+    ``backend`` selects the execution backend by registry name (see
+    :mod:`repro.sim.backends`); results are byte-identical across
+    backends, only wall-clock changes.
+    """
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
     generated = generate_workload(spec)
@@ -325,6 +333,7 @@ def run_workload(
         profiler=profiler,
         faults=faults,
         health=health,
+        backend=backend,
     )
     page_size = sim.geometry.page_size_bytes
 
@@ -385,6 +394,7 @@ def run_workload_closed_loop(
     profiler: SimProfiler | None = None,
     faults: FaultPlan | None = None,
     health: HealthMonitor | None = None,
+    backend: str | None = None,
 ) -> RunResult:
     """Closed-loop variant of :func:`run_workload` (Fig. 10 throughput).
 
@@ -406,6 +416,7 @@ def run_workload_closed_loop(
         profiler=profiler,
         faults=faults,
         health=health,
+        backend=backend,
     )
     page_size = sim.geometry.page_size_bytes
 

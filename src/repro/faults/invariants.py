@@ -15,6 +15,8 @@ intent is left uncommitted.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..flash.block import CONVENTIONAL_WL, TORN_WL, PageState
 
 __all__ = ["check_coding_invariants"]
@@ -26,36 +28,50 @@ def check_coding_invariants(ftl) -> list[str]:
     An empty list means every invariant holds.  Duck-typed against
     :class:`~repro.ftl.ftl.Ftl` (anything with ``table``, ``map`` and the
     fault-recovery attributes works).
+
+    The wordline/page sweeps run as array reductions over the columnar
+    :class:`~repro.flash.state.DeviceState` — at the full 512 GB
+    topology the per-object version would walk 22 M wordlines in Python.
     """
     violations: list[str] = []
     table = ftl.table
-    sense_table = table.sense_table
+    state = table.state
+    bits = state.bits_per_cell
+    wpb = state.wordlines_per_block
 
-    for block in table.blocks:
-        for wordline in range(block.wordlines):
-            mode = block.wl_mode(wordline)
-            if mode == TORN_WL:
-                violations.append(
-                    f"block {block.index} wordline {wordline} left torn "
-                    "(interrupted IDA reprogram was not resolved)"
-                )
-            elif mode != CONVENTIONAL_WL and not 1 <= mode < block.bits_per_cell:
-                violations.append(
-                    f"block {block.index} wordline {wordline} has invalid "
-                    f"mode {mode:#x}"
-                )
-        for page in block.valid_pages():
-            try:
-                block.senses_for(sense_table, page)
-            except KeyError:
-                violations.append(
-                    f"block {block.index} page {page} is valid but "
-                    "unreadable under its wordline mode"
-                )
+    wl_modes = state.wl_mode_np
+    torn = wl_modes == TORN_WL
+    invalid_mode = (
+        (wl_modes != CONVENTIONAL_WL) & ~torn & ((wl_modes < 1) | (wl_modes >= bits))
+    )
+    for wl in np.flatnonzero(torn | invalid_mode):
+        block_index, wordline = divmod(int(wl), wpb)
+        if torn[wl]:
+            violations.append(
+                f"block {block_index} wordline {wordline} left torn "
+                "(interrupted IDA reprogram was not resolved)"
+            )
+        else:
+            violations.append(
+                f"block {block_index} wordline {wordline} has invalid "
+                f"mode {int(wl_modes[wl]):#x}"
+            )
+
+    # Every valid page must be readable under its wordline's current
+    # mode (LUT row 0 = unreadable, mirroring SenseTable.senses raising).
+    lut = table.sense_table.lut()
+    valid_ppns = np.flatnonzero(state.page_state_np == int(PageState.VALID))
+    senses = lut[wl_modes[valid_ppns // bits], valid_ppns % bits]
+    for ppn in valid_ppns[senses == 0]:
+        block_index, page = divmod(int(ppn), state.pages_per_block)
+        violations.append(
+            f"block {block_index} page {page} is valid but "
+            "unreadable under its wordline mode"
+        )
 
     # The page map must only point at valid pages (and agree with the
     # reverse map, which PageMap itself guarantees).
-    for lpn, ppn in ftl.map._forward.items():
+    for lpn, ppn in ftl.map.items():
         block, page = table.block_of_ppn(ppn)
         if block.state_of(page) is not PageState.VALID:
             violations.append(

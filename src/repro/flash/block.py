@@ -7,15 +7,25 @@ and one per-wordline mode recording which reprogrammed code the wordline
 uses (CSB+MSB kept, or MSB only — generalised here to "kept-bit suffix
 start").  Sense counts for every (wordline mode, page type) pair are
 precomputed once per coding in :class:`SenseTable`.
+
+Since the columnar refactor a ``Block`` no longer *owns* its metadata:
+it is a view over one slot of a shared
+:class:`~repro.flash.state.DeviceState` (see that module for the column
+schema).  A ``Block`` built standalone — ``Block(index=3,
+pages_per_block=192, bits_per_cell=3)``, as unit tests do — allocates a
+private single-slot state, so the classic object-per-block style keeps
+working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import IntEnum
+
+import numpy as np
 
 from ..core.coding import GrayCoding
 from ..core.ida import IdaTransform
+from .state import FLAG_IS_IDA, FLAG_LOCKED, FLAG_RETIRED, DeviceState
 
 __all__ = ["PageState", "SenseTable", "Block", "CONVENTIONAL_WL", "TORN_WL"]
 
@@ -38,6 +48,9 @@ CONVENTIONAL_WL = 0xFF
 #: is exactly what :func:`repro.faults.check_coding_invariants` pins.
 TORN_WL = 0xFE
 
+_VALID = int(PageState.VALID)
+_INVALID = int(PageState.INVALID)
+
 
 class SenseTable:
     """Precomputed sense counts for a coding and all its IDA modes.
@@ -58,6 +71,7 @@ class SenseTable:
             transform = IdaTransform(coding, tuple(range(start, coding.bits)))
             self.transforms[start] = transform
             self._ida[start] = transform.sense_counts()
+        self._lut: np.ndarray | None = None
 
     def senses(self, wl_mode: int, bit: int) -> int:
         """Senses to read page type ``bit`` under wordline mode ``wl_mode``.
@@ -83,46 +97,161 @@ class SenseTable:
         """The IDA transform of the mode keeping bits ``start..b-1``."""
         return self.transforms[start]
 
+    def lut(self) -> np.ndarray:
+        """The table as a dense ``(256, bits)`` array for batched lookup.
 
-@dataclass
+        Row = wordline mode byte, column = page type; 0 marks unreadable
+        combinations (evicted bit, torn wordline, undefined mode) so
+        vector consumers (:meth:`DeviceState.senses_for_ppns`) can detect
+        the same logic errors the scalar :meth:`senses` raises on.
+        """
+        if self._lut is None:
+            lut = np.zeros((256, self.coding.bits), dtype=np.int64)
+            lut[CONVENTIONAL_WL, :] = self.conventional
+            for start, counts in self._ida.items():
+                for bit, senses in counts.items():
+                    lut[start, bit] = senses
+            self._lut = lut
+        return self._lut
+
+
 class Block:
-    """Mutable state of one physical block.
+    """View of one physical block's slot in a :class:`DeviceState`.
+
+    The attribute surface is unchanged from the pre-columnar dataclass —
+    ``next_page``, ``valid_count``, ``erase_count``, ``programmed_at_us``
+    (None until first program), ``is_ida``, ``locked`` all read and write
+    through to the shared columns.
 
     Attributes:
-        index: Linear block number within the device.
+        state: The columnar store holding this block's metadata.
+        slot: This block's row in ``state`` (device-linear).
+        index: Linear block number within the device (equals ``slot`` for
+            device-built blocks; standalone test blocks may report any
+            index while occupying slot 0 of a private state).
         pages_per_block: Page count (Table II: 192).
         bits_per_cell: Cell density (TLC: 3).
-        page_states: Per-page :class:`PageState` (stored compactly).
-        wl_modes: Per-wordline coding mode (:data:`CONVENTIONAL_WL` or the
-            kept-suffix start bit of the applied IDA transform).
-        next_page: Sequential program pointer (NAND programs in order).
-        valid_count: Number of VALID pages (GC victim-selection key).
-        erase_count: Wear counter (wear-aware GC tie-break).
-        programmed_at_us: Simulation time of the first program after the
-            last erase — the age the refresh daemon compares against.
-        is_ida: True once any wordline was voltage-adjusted; such blocks
-            are force-reclaimed at their next refresh (Sec. III-C).
-        locked: True while a refresh is mutating the block; GC must not
-            pick it as a victim mid-refresh.
     """
 
-    index: int
-    pages_per_block: int
-    bits_per_cell: int
-    page_states: bytearray = field(init=False)
-    wl_modes: bytearray = field(init=False)
-    next_page: int = 0
-    valid_count: int = 0
-    erase_count: int = 0
-    programmed_at_us: float | None = None
-    is_ida: bool = False
-    locked: bool = False
+    __slots__ = (
+        "state",
+        "slot",
+        "index",
+        "pages_per_block",
+        "bits_per_cell",
+        "_ps",
+        "_wl",
+        "_p0",
+        "_w0",
+    )
 
-    def __post_init__(self) -> None:
-        if self.pages_per_block % self.bits_per_cell:
-            raise ValueError("pages_per_block must divide evenly into wordlines")
-        self.page_states = bytearray(self.pages_per_block)
-        self.wl_modes = bytearray([CONVENTIONAL_WL]) * self.wordlines
+    def __init__(
+        self,
+        index: int,
+        pages_per_block: int,
+        bits_per_cell: int,
+        state: DeviceState | None = None,
+        slot: int | None = None,
+    ) -> None:
+        if state is None:
+            state = DeviceState(1, pages_per_block, bits_per_cell)
+            slot = 0
+        elif slot is None:
+            slot = index
+        if (
+            pages_per_block != state.pages_per_block
+            or bits_per_cell != state.bits_per_cell
+        ):
+            raise ValueError("block geometry disagrees with its device state")
+        self.state = state
+        self.slot = slot
+        self.index = index
+        self.pages_per_block = pages_per_block
+        self.bits_per_cell = bits_per_cell
+        # Cached buffer references + base offsets: the scalar hot path
+        # must cost one index, not three attribute hops.
+        self._ps = state.page_state
+        self._wl = state.wl_mode
+        self._p0 = slot * pages_per_block
+        self._w0 = slot * state.wordlines_per_block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(index={self.index}, next_page={self.next_page}, "
+            f"valid={self.valid_count}, erases={self.erase_count}, "
+            f"ida={self.is_ida}, locked={self.locked})"
+        )
+
+    # ------------------------------------------------------------------
+    # Column-backed attributes
+    # ------------------------------------------------------------------
+    @property
+    def next_page(self) -> int:
+        return self.state.next_page[self.slot]
+
+    @next_page.setter
+    def next_page(self, value: int) -> None:
+        self.state.next_page[self.slot] = value
+
+    @property
+    def valid_count(self) -> int:
+        return self.state.valid_count[self.slot]
+
+    @valid_count.setter
+    def valid_count(self, value: int) -> None:
+        self.state.valid_count[self.slot] = value
+
+    @property
+    def erase_count(self) -> int:
+        return self.state.erase_count[self.slot]
+
+    @erase_count.setter
+    def erase_count(self, value: int) -> None:
+        self.state.erase_count[self.slot] = value
+
+    @property
+    def programmed_at_us(self) -> float | None:
+        value = self.state.programmed_at_us[self.slot]
+        return None if value != value else value  # NaN encodes None
+
+    @programmed_at_us.setter
+    def programmed_at_us(self, value: float | None) -> None:
+        self.state.programmed_at_us[self.slot] = (
+            float("nan") if value is None else value
+        )
+
+    @property
+    def is_ida(self) -> bool:
+        return bool(self.state.flags[self.slot] & FLAG_IS_IDA)
+
+    @is_ida.setter
+    def is_ida(self, value: bool) -> None:
+        if value:
+            self.state.flags[self.slot] |= FLAG_IS_IDA
+        else:
+            self.state.flags[self.slot] &= ~FLAG_IS_IDA & 0xFF
+
+    @property
+    def locked(self) -> bool:
+        return bool(self.state.flags[self.slot] & FLAG_LOCKED)
+
+    @locked.setter
+    def locked(self, value: bool) -> None:
+        if value:
+            self.state.flags[self.slot] |= FLAG_LOCKED
+        else:
+            self.state.flags[self.slot] &= ~FLAG_LOCKED & 0xFF
+
+    @property
+    def retired(self) -> bool:
+        return bool(self.state.flags[self.slot] & FLAG_RETIRED)
+
+    @retired.setter
+    def retired(self, value: bool) -> None:
+        if value:
+            self.state.flags[self.slot] |= FLAG_RETIRED
+        else:
+            self.state.flags[self.slot] &= ~FLAG_RETIRED & 0xFF
 
     # ------------------------------------------------------------------
     # Derived state
@@ -133,18 +262,20 @@ class Block:
 
     @property
     def is_full(self) -> bool:
-        return self.next_page >= self.pages_per_block
+        return self.state.next_page[self.slot] >= self.pages_per_block
 
     @property
     def free_pages(self) -> int:
-        return self.pages_per_block - self.next_page
+        return self.pages_per_block - self.state.next_page[self.slot]
 
     @property
     def invalid_count(self) -> int:
-        return sum(1 for s in self.page_states if s == PageState.INVALID)
+        base = self._p0
+        column = self.state.page_state_np[base : base + self.pages_per_block]
+        return int(np.count_nonzero(column == _INVALID))
 
     def state_of(self, page: int) -> PageState:
-        return PageState(self.page_states[page])
+        return PageState(self._ps[self._p0 + page])
 
     def wordline_of(self, page: int) -> int:
         return page // self.bits_per_cell
@@ -154,22 +285,20 @@ class Block:
 
     def wordline_validity(self, wordline: int) -> tuple[bool, ...]:
         """Per-bit validity of a wordline (the Table I input)."""
-        base = wordline * self.bits_per_cell
+        base = self._p0 + wordline * self.bits_per_cell
+        states = self._ps
         return tuple(
-            self.page_states[base + offset] == PageState.VALID
-            for offset in range(self.bits_per_cell)
+            states[base + offset] == _VALID for offset in range(self.bits_per_cell)
         )
 
     def valid_pages(self) -> list[int]:
         """Page-in-block indices of all valid pages, ascending."""
-        return [
-            page
-            for page, state in enumerate(self.page_states)
-            if state == PageState.VALID
-        ]
+        base = self._p0
+        column = self.state.page_state_np[base : base + self.pages_per_block]
+        return np.flatnonzero(column == _VALID).tolist()
 
     def wl_mode(self, wordline: int) -> int:
-        return self.wl_modes[wordline]
+        return self._wl[self._w0 + wordline]
 
     # ------------------------------------------------------------------
     # Mutations
@@ -181,38 +310,42 @@ class Block:
             RuntimeError: if the block is full or was IDA-reprogrammed
                 (IDA blocks accept no new programs until erased).
         """
-        if self.is_full:
+        state = self.state
+        slot = self.slot
+        page = state.next_page[slot]
+        if page >= self.pages_per_block:
             raise RuntimeError(f"block {self.index} is full")
-        if self.is_ida:
+        if state.flags[slot] & FLAG_IS_IDA:
             raise RuntimeError(f"block {self.index} is IDA-coded; erase first")
-        page = self.next_page
-        self.next_page += 1
-        self.page_states[page] = PageState.VALID
-        self.valid_count += 1
-        if self.programmed_at_us is None:
-            self.programmed_at_us = now_us
+        state.next_page[slot] = page + 1
+        self._ps[self._p0 + page] = _VALID
+        state.valid_count[slot] += 1
+        stamp = state.programmed_at_us[slot]
+        if stamp != stamp:  # NaN: first program since erase
+            state.programmed_at_us[slot] = now_us
         return page
 
     def invalidate(self, page: int) -> None:
         """Mark a valid page invalid (its logical data moved elsewhere)."""
-        if self.page_states[page] != PageState.VALID:
+        offset = self._p0 + page
+        if self._ps[offset] != _VALID:
             raise RuntimeError(
                 f"block {self.index} page {page} is not valid "
-                f"({PageState(self.page_states[page]).name})"
+                f"({PageState(self._ps[offset]).name})"
             )
-        self.page_states[page] = PageState.INVALID
-        self.valid_count -= 1
+        self._ps[offset] = _INVALID
+        self.state.valid_count[self.slot] -= 1
 
     def set_wordline_ida(self, wordline: int, start_bit: int) -> None:
         """Record a voltage adjustment keeping bits ``start_bit..b-1``."""
         if not 1 <= start_bit < self.bits_per_cell:
             raise ValueError(f"invalid kept-suffix start bit {start_bit}")
-        self.wl_modes[wordline] = start_bit
-        self.is_ida = True
+        self._wl[self._w0 + wordline] = start_bit
+        self.state.flags[self.slot] |= FLAG_IS_IDA
 
     def mark_wordline_torn(self, wordline: int) -> None:
         """An adjustment of this wordline was interrupted mid-reprogram."""
-        self.wl_modes[wordline] = TORN_WL
+        self._wl[self._w0 + wordline] = TORN_WL
 
     def resolve_wordline(self, wordline: int, mode: int) -> None:
         """Land a torn wordline in a definite coding (fault recovery).
@@ -224,23 +357,27 @@ class Block:
         """
         if mode != CONVENTIONAL_WL and not 1 <= mode < self.bits_per_cell:
             raise ValueError(f"cannot resolve wordline to mode {mode:#x}")
-        self.wl_modes[wordline] = mode
+        self._wl[self._w0 + wordline] = mode
 
     def erase(self) -> None:
         """Erase the block: all pages free, wear counter bumped."""
-        if self.valid_count:
+        state = self.state
+        slot = self.slot
+        if state.valid_count[slot]:
             raise RuntimeError(
-                f"erasing block {self.index} with {self.valid_count} valid pages"
+                f"erasing block {self.index} with "
+                f"{state.valid_count[slot]} valid pages"
             )
-        for page in range(self.pages_per_block):
-            self.page_states[page] = PageState.FREE
-        for wordline in range(self.wordlines):
-            self.wl_modes[wordline] = CONVENTIONAL_WL
-        self.next_page = 0
-        self.erase_count += 1
-        self.programmed_at_us = None
-        self.is_ida = False
+        self._ps[self._p0 : self._p0 + self.pages_per_block] = state._zero_pages
+        self._wl[self._w0 : self._w0 + self.wordlines] = state._conv_wordlines
+        state.next_page[slot] = 0
+        state.erase_count[slot] += 1
+        state.programmed_at_us[slot] = float("nan")
+        state.flags[slot] &= ~FLAG_IS_IDA & 0xFF
 
     def senses_for(self, table: SenseTable, page: int) -> int:
         """Senses a read of ``page`` needs given the wordline's mode."""
-        return table.senses(self.wl_modes[self.wordline_of(page)], self.bit_of(page))
+        return table.senses(
+            self._wl[self._w0 + page // self.bits_per_cell],
+            page % self.bits_per_cell,
+        )

@@ -126,6 +126,7 @@ class PlanePool:
         if in_plane_index in self.retired:
             return
         self.retired.add(in_plane_index)
+        self.blocks[in_plane_index].retired = True
         self.used.discard(in_plane_index)
         if self.active == in_plane_index:
             self.active = None

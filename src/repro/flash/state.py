@@ -1,0 +1,260 @@
+"""Columnar (structure-of-arrays) device state.
+
+All mutable metadata of the simulated device lives here, one flat column
+per field instead of one object per block.  :class:`~repro.flash.block.Block`
+and :class:`~repro.flash.plane.PlanePool` are thin *views* over this
+state; nothing else owns page/block/wordline metadata.
+
+Why columns
+-----------
+
+* **Scale** — the paper's full 512 GB topology is 350,208 blocks /
+  67 M pages.  Per-object dicts cannot hold that (memory) or update it
+  (speed); one ``uint8`` column over all pages is 67 MB and a block-level
+  column is 2.8 MB.
+* **Vector math** — the batch execution backend
+  (:mod:`repro.sim.backends`) computes sense counts, wordline validity
+  classification and device aggregates as array operations over these
+  columns; wordline-granular policies (STRAW-style stress-aware reclaim,
+  per-page coding schemes) get their counters for free.
+* **Scalar speed** — the event-at-a-time reference backend still touches
+  one page at a time.  Columns are therefore stored as
+  ``bytearray`` / ``array`` buffers (C-speed scalar indexing, ~3-5x
+  faster than numpy scalar access) with **zero-copy live numpy views**
+  on top: mutating through either side is visible to the other
+  instantly, so the scalar and vector paths can never disagree.
+
+Column schema
+-------------
+
+=====================  =========  ============  =============================
+column                 per        dtype         meaning
+=====================  =========  ============  =============================
+``page_state``         page       uint8         :class:`PageState` lifecycle
+``wl_mode``            wordline   uint8         coding id: CONVENTIONAL_WL,
+                                                TORN_WL or kept-suffix start
+``wl_read_count``      wordline   int64         host-read senses landed here
+                                                (stress input for STRAW-style
+                                                reclaim)
+``next_page``          block      int64         sequential program pointer
+``valid_count``        block      int64         VALID pages (GC victim key)
+``erase_count``        block      int64         P/E wear (RBER input)
+``programmed_at_us``   block      float64       age of first program since
+                                                erase (RBER retention input;
+                                                NaN = never programmed)
+``flags``              block      uint8         IS_IDA | LOCKED | RETIRED
+=====================  =========  ============  =============================
+
+View-ownership rules (enforced by convention, pinned by the parity
+tests): only :class:`~repro.flash.block.Block` views and the vectorized
+batch helpers in this module mutate columns; everything above the flash
+layer reads through the view API or the numpy views, never by caching
+column slices across mutations.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+__all__ = [
+    "DeviceState",
+    "FLAG_IS_IDA",
+    "FLAG_LOCKED",
+    "FLAG_RETIRED",
+]
+
+#: ``flags`` column bits.
+FLAG_IS_IDA = 0x01
+FLAG_LOCKED = 0x02
+FLAG_RETIRED = 0x04
+
+# Local copies of the wordline-mode sentinels (block.py re-exports them;
+# duplicated here to avoid a circular import).
+_CONVENTIONAL_WL = 0xFF
+
+_PAGE_FREE = 0
+_PAGE_VALID = 1
+_PAGE_INVALID = 2
+
+
+class DeviceState:
+    """All mutable metadata of one device, column per field.
+
+    Args:
+        num_blocks: Total (device-linear) block count.
+        pages_per_block: Pages per block (Table II: 192).
+        bits_per_cell: Cell density (TLC: 3).
+    """
+
+    __slots__ = (
+        "num_blocks",
+        "pages_per_block",
+        "bits_per_cell",
+        "wordlines_per_block",
+        "num_pages",
+        "num_wordlines",
+        # scalar-fast buffers
+        "page_state",
+        "wl_mode",
+        "wl_read_count",
+        "next_page",
+        "valid_count",
+        "erase_count",
+        "programmed_at_us",
+        "flags",
+        # zero-copy numpy views over the buffers above
+        "page_state_np",
+        "wl_mode_np",
+        "wl_read_count_np",
+        "next_page_np",
+        "valid_count_np",
+        "erase_count_np",
+        "programmed_at_us_np",
+        "flags_np",
+        # cached erase fill patterns
+        "_zero_pages",
+        "_conv_wordlines",
+    )
+
+    def __init__(
+        self, num_blocks: int, pages_per_block: int, bits_per_cell: int
+    ) -> None:
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if pages_per_block % bits_per_cell:
+            raise ValueError("pages_per_block must divide evenly into wordlines")
+        self.num_blocks = num_blocks
+        self.pages_per_block = pages_per_block
+        self.bits_per_cell = bits_per_cell
+        self.wordlines_per_block = pages_per_block // bits_per_cell
+        self.num_pages = num_blocks * pages_per_block
+        self.num_wordlines = num_blocks * self.wordlines_per_block
+
+        self.page_state = bytearray(self.num_pages)
+        self.wl_mode = bytearray([_CONVENTIONAL_WL]) * self.num_wordlines
+        self.wl_read_count = array("q", bytes(8 * self.num_wordlines))
+        self.next_page = array("q", bytes(8 * num_blocks))
+        self.valid_count = array("q", bytes(8 * num_blocks))
+        self.erase_count = array("q", bytes(8 * num_blocks))
+        self.programmed_at_us = array("d", bytes(8 * num_blocks))
+        self.flags = bytearray(num_blocks)
+
+        nan = float("nan")
+        for i in range(num_blocks):
+            self.programmed_at_us[i] = nan
+
+        # Live views: same memory, so scalar and vector mutations stay
+        # coherent by construction (the buffers are never resized).
+        self.page_state_np = np.frombuffer(self.page_state, dtype=np.uint8)
+        self.wl_mode_np = np.frombuffer(self.wl_mode, dtype=np.uint8)
+        self.wl_read_count_np = np.frombuffer(self.wl_read_count, dtype=np.int64)
+        self.next_page_np = np.frombuffer(self.next_page, dtype=np.int64)
+        self.valid_count_np = np.frombuffer(self.valid_count, dtype=np.int64)
+        self.erase_count_np = np.frombuffer(self.erase_count, dtype=np.int64)
+        self.programmed_at_us_np = np.frombuffer(
+            self.programmed_at_us, dtype=np.float64
+        )
+        self.flags_np = np.frombuffer(self.flags, dtype=np.uint8)
+
+        self._zero_pages = bytes(pages_per_block)
+        self._conv_wordlines = bytes([_CONVENTIONAL_WL]) * self.wordlines_per_block
+
+    # ------------------------------------------------------------------
+    # Derived geometry helpers
+    # ------------------------------------------------------------------
+    def page_base(self, slot: int) -> int:
+        """First global page index of block ``slot``."""
+        return slot * self.pages_per_block
+
+    def wordline_base(self, slot: int) -> int:
+        """First global wordline index of block ``slot``."""
+        return slot * self.wordlines_per_block
+
+    # ------------------------------------------------------------------
+    # Vectorized queries (the batch backend's raw material)
+    # ------------------------------------------------------------------
+    def senses_for_ppns(
+        self, ppns: np.ndarray, sense_lut: np.ndarray
+    ) -> np.ndarray:
+        """Sense counts for an array of physical page numbers.
+
+        Args:
+            ppns: int array of global page numbers (``block * ppb + page``).
+            sense_lut: The ``(256, bits_per_cell)`` lookup from
+                :meth:`repro.flash.block.SenseTable.lut` — rows indexed
+                by wordline mode, 0 marking unreadable (evicted / torn)
+                combinations.
+
+        Raises:
+            KeyError: if any addressed page is unreadable under its
+                wordline's current mode (same contract as the scalar
+                :meth:`~repro.flash.block.SenseTable.senses`).
+        """
+        ppns = np.asarray(ppns, dtype=np.int64)
+        bits = ppns % self.bits_per_cell
+        pages = ppns % self.pages_per_block
+        wl = ppns // self.bits_per_cell  # global wordline index
+        # ``pages // bits`` within block + block * wpb == ppn // bits.
+        del pages
+        modes = self.wl_mode_np[wl]
+        senses = sense_lut[modes, bits]
+        if not senses.all():
+            bad = int(ppns[np.flatnonzero(senses == 0)[0]])
+            raise KeyError(
+                f"page {bad} is unreadable under its wordline mode "
+                "(evicted bit or torn wordline)"
+            )
+        return senses.astype(np.int64, copy=False)
+
+    def wordline_validity_rows(self, ppns: np.ndarray) -> np.ndarray:
+        """Per-bit validity of each addressed page's wordline.
+
+        Returns a ``(len(ppns), bits_per_cell)`` bool matrix — row ``i``
+        is the Table I input of ``ppns[i]``'s wordline.
+        """
+        ppns = np.asarray(ppns, dtype=np.int64)
+        first_page = (ppns // self.bits_per_cell) * self.bits_per_cell
+        offsets = np.arange(self.bits_per_cell, dtype=np.int64)
+        gathered = self.page_state_np[first_page[:, None] + offsets[None, :]]
+        return gathered == _PAGE_VALID
+
+    def note_host_reads(self, ppns: np.ndarray) -> None:
+        """Bump the stress counter of each addressed wordline."""
+        wl = np.asarray(ppns, dtype=np.int64) // self.bits_per_cell
+        np.add.at(self.wl_read_count_np, wl, 1)
+
+    # ------------------------------------------------------------------
+    # Vectorized aggregates (telemetry / census fast paths)
+    # ------------------------------------------------------------------
+    def in_use_blocks(self) -> int:
+        """Blocks holding any programmed pages."""
+        return int(np.count_nonzero(self.next_page_np))
+
+    def ida_blocks(self) -> int:
+        """Blocks currently carrying IDA-reprogrammed wordlines."""
+        return int(np.count_nonzero(self.flags_np & FLAG_IS_IDA))
+
+    def retired_blocks(self) -> int:
+        """Blocks grown bad and permanently out of rotation."""
+        return int(np.count_nonzero(self.flags_np & FLAG_RETIRED))
+
+    def total_valid_pages(self) -> int:
+        return int(self.valid_count_np.sum())
+
+    def total_erases(self) -> int:
+        return int(self.erase_count_np.sum())
+
+    def memory_bytes(self) -> int:
+        """Resident size of all columns (the bounded-memory guarantee)."""
+        return (
+            len(self.page_state)
+            + len(self.wl_mode)
+            + 8 * len(self.wl_read_count)
+            + 8 * len(self.next_page)
+            + 8 * len(self.valid_count)
+            + 8 * len(self.erase_count)
+            + 8 * len(self.programmed_at_us)
+            + len(self.flags)
+        )

@@ -65,6 +65,20 @@ class StaticAllocator:
         self._cursor = (self._cursor + 1) % len(self.order)
         return plane
 
+    def peek(self, offset: int = 0) -> int:
+        """Plane that ``offset`` selections from now would return."""
+        return self.order[(self._cursor + offset) % len(self.order)]
+
+    def advance(self, count: int) -> None:
+        """Skip ``count`` selections at once (bulk-allocation fast path).
+
+        Leaves the cursor exactly where ``count`` :meth:`next_plane`
+        calls would have.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._cursor = (self._cursor + count) % len(self.order)
+
     def remove_planes(self, planes: list[int]) -> None:
         """Drop failed planes from the stripe rotation (die loss).
 

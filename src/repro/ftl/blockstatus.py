@@ -2,10 +2,13 @@
 
 The paper stresses that IDA needs *no new* validity tracking — it reuses
 the FTL's existing block status table, extended by one bit per block
-(conventional vs IDA) and one mode bit per wordline.  This class owns all
-:class:`~repro.flash.block.Block` records plus the per-plane pools, and
-answers the queries the rest of the FTL makes: page validity, wordline
-validity, sense counts, and block-level aggregates.
+(conventional vs IDA) and one mode bit per wordline.  Since the columnar
+refactor the table *owns* one :class:`~repro.flash.state.DeviceState`
+(flat columns over every page/wordline/block of the device) and hands
+out :class:`~repro.flash.block.Block` views plus the per-plane pools.
+It answers the queries the rest of the FTL makes: page validity,
+wordline validity, sense counts, and block-level aggregates — the
+aggregates as single array reductions instead of Python loops.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from ..core.coding import GrayCoding
 from ..flash.block import Block, SenseTable
 from ..flash.geometry import Geometry
 from ..flash.plane import PlanePool
+from ..flash.state import DeviceState
 
 __all__ = ["BlockStatusTable"]
 
@@ -30,11 +34,18 @@ class BlockStatusTable:
         self.geometry = geometry
         self.coding = coding
         self.sense_table = SenseTable(coding)
+        self.state = DeviceState(
+            num_blocks=geometry.total_blocks,
+            pages_per_block=geometry.pages_per_block,
+            bits_per_cell=geometry.bits_per_cell,
+        )
         self.blocks: list[Block] = [
             Block(
                 index=index,
                 pages_per_block=geometry.pages_per_block,
                 bits_per_cell=geometry.bits_per_cell,
+                state=self.state,
+                slot=index,
             )
             for index in range(geometry.total_blocks)
         ]
@@ -68,25 +79,25 @@ class BlockStatusTable:
         return block.wordline_validity(block.wordline_of(page))
 
     # ------------------------------------------------------------------
-    # Aggregates
+    # Aggregates (array reductions over the columnar state)
     # ------------------------------------------------------------------
     def in_use_blocks(self) -> int:
         """Blocks holding any programmed pages (Sec. III-C accounting)."""
-        return sum(1 for block in self.blocks if block.next_page > 0)
+        return self.state.in_use_blocks()
 
     def ida_blocks(self) -> int:
         """Blocks currently carrying IDA-reprogrammed wordlines."""
-        return sum(1 for block in self.blocks if block.is_ida)
+        return self.state.ida_blocks()
 
     def total_valid_pages(self) -> int:
-        return sum(block.valid_count for block in self.blocks)
+        return self.state.total_valid_pages()
 
     def total_erases(self) -> int:
-        return sum(block.erase_count for block in self.blocks)
+        return self.state.total_erases()
 
     def free_blocks(self) -> int:
         return sum(pool.free_count for pool in self.planes)
 
     def retired_blocks(self) -> int:
         """Grown-bad blocks permanently out of rotation (fault paths)."""
-        return sum(pool.retired_count for pool in self.planes)
+        return self.state.retired_blocks()

@@ -23,6 +23,7 @@ from ..core.coding import GrayCoding
 from ..flash.block import CONVENTIONAL_WL, Block, PageState
 from ..flash.errors import AdjustDisturbModel
 from ..flash.geometry import Geometry
+from ..flash.state import FLAG_IS_IDA
 from ..flash.plane import PlanePool
 from ..obs.tracer import NULL_TRACER, Tracer
 from .allocation import StaticAllocator
@@ -175,6 +176,164 @@ class Ftl:
         hence refresh events) stagger naturally.
         """
         self._program_page(lpn, pseudo_now_us, [])
+
+    #: Safe runs shorter than this are cheaper through the scalar loop
+    #: than through the numpy setup of a bulk segment.
+    _MIN_BULK_SEGMENT = 32
+
+    def apply_untimed_batch(self, lpns, times) -> None:
+        """Bulk :meth:`write_untimed`: identical final state, array speed.
+
+        The batch backend's workhorse (preload / aging / background
+        batches).  Writes are applied in *segments*: a safe run is the
+        longest prefix guaranteed to trigger no GC pass and open no
+        block on any plane — each plane in the allocator rotation merely
+        fills its already-open active block — so the whole prefix
+        collapses to column scatters on the device state plus one bulk
+        map rebinding.  The write that lands on a segment boundary (GC
+        watermark, block open, block fill) goes through the ordinary
+        scalar path, which realigns every invariant before the next
+        segment is sized.
+
+        Args:
+            lpns: Logical pages in write order (any int sequence).
+            times: Per-write ``pseudo_now_us`` values — a scalar, or a
+                sequence matching ``lpns``.
+        """
+        lpns = np.ascontiguousarray(lpns, dtype=np.int64)
+        total = len(lpns)
+        if total == 0:
+            return
+        times = np.broadcast_to(
+            np.asarray(times, dtype=np.float64), (total,)
+        )
+        start = 0
+        while start < total:
+            safe = self._untimed_safe_run(total - start)
+            if safe < self._MIN_BULK_SEGMENT:
+                # Too short to be worth array setup; the +1 also steps
+                # over the boundary write itself (GC / block open).
+                for index in range(start, min(start + safe + 1, total)):
+                    self.write_untimed(int(lpns[index]), float(times[index]))
+                start += safe + 1
+                continue
+            self._apply_untimed_segment(
+                lpns[start : start + safe], times[start : start + safe]
+            )
+            start += safe
+
+    def _untimed_safe_run(self, limit: int) -> int:
+        """Longest write run from here that stays inside active blocks.
+
+        Position ``k`` of the run lands on rotation slot ``k % P``.  For
+        each slot the first boundary is either its very first write (GC
+        watermark reached, no active block, or an active block the
+        scalar path must special-case) or the write that would overflow
+        the active block's remaining pages.
+        """
+        order = self.allocator.order
+        cursor = self.allocator._cursor
+        n_planes = len(order)
+        pages_per_block = self.geometry.pages_per_block
+        watermark = self.gc_policy.low_watermark
+        planes = self.table.planes
+        state = self.table.state
+        best = limit
+        for slot in range(min(n_planes, limit)):
+            pool = planes[order[(cursor + slot) % n_planes]]
+            active = pool.active
+            if active is None or pool.free_count < watermark:
+                boundary = slot
+            else:
+                block_index = pool.blocks[active].index
+                remaining = pages_per_block - state.next_page[block_index]
+                if remaining <= 0 or state.flags[block_index] & FLAG_IS_IDA:
+                    boundary = slot
+                else:
+                    boundary = slot + remaining * n_planes
+            if boundary < best:
+                best = boundary
+                if best == 0:
+                    break
+        return best
+
+    def _apply_untimed_segment(self, lpns: np.ndarray, times: np.ndarray) -> None:
+        """Apply one GC-free run of untimed writes as column operations."""
+        state = self.table.state
+        geometry = self.geometry
+        order = self.allocator.order
+        cursor = self.allocator._cursor
+        n_planes = len(order)
+        pages_per_block = geometry.pages_per_block
+        length = len(lpns)
+        width = min(n_planes, length)
+
+        # Destination PPNs: slot s writes pages start_page[s], +1, ... of
+        # its plane's active block; position p of the segment is the
+        # (p // P)-th write of slot p % P.
+        pools = [
+            self.table.planes[order[(cursor + slot) % n_planes]]
+            for slot in range(width)
+        ]
+        dest_blocks = np.empty(width, dtype=np.int64)
+        start_pages = np.empty(width, dtype=np.int64)
+        for slot, pool in enumerate(pools):
+            block_index = pool.blocks[pool.active].index
+            dest_blocks[slot] = block_index
+            start_pages[slot] = state.next_page[block_index]
+        positions = np.arange(length, dtype=np.int64)
+        slot_of = positions % n_planes
+        new_ppns = (
+            dest_blocks[slot_of] * pages_per_block
+            + start_pages[slot_of]
+            + positions // n_planes
+        )
+
+        # Duplicate LPNs inside the segment: only the first occurrence
+        # displaces a pre-segment mapping; only the last stays valid.
+        _, first_positions = np.unique(lpns, return_index=True)
+        uniq, rev_first = np.unique(lpns[::-1], return_index=True)
+        last_positions = length - 1 - rev_first
+        is_last = np.zeros(length, dtype=bool)
+        is_last[last_positions] = True
+
+        # Invalidate the pre-segment copies (first occurrences only).
+        old_ppns = self.map.lookup_many(lpns[first_positions])
+        ext_ppns = old_ppns[old_ppns >= 0]
+        page_states = state.page_state_np
+        if len(ext_ppns):
+            stale = page_states[ext_ppns]
+            if (stale != int(PageState.VALID)).any():
+                bad = int(ext_ppns[stale != int(PageState.VALID)][0])
+                block_index, page = divmod(bad, pages_per_block)
+                raise RuntimeError(
+                    f"block {block_index} page {page} is not valid "
+                    f"({PageState(page_states[bad]).name})"
+                )
+            page_states[ext_ppns] = int(PageState.INVALID)
+            np.subtract.at(
+                state.valid_count_np, ext_ppns // pages_per_block, 1
+            )
+
+        # Program the new pages: duplicates superseded within the
+        # segment land directly as INVALID (net effect of program +
+        # later invalidate).
+        page_states[new_ppns[is_last]] = int(PageState.VALID)
+        page_states[new_ppns[~is_last]] = int(PageState.INVALID)
+        for slot in range(width):
+            block_index = int(dest_blocks[slot])
+            in_slot = slot_of == slot
+            state.next_page[block_index] += int(in_slot.sum())
+            state.valid_count[block_index] += int(is_last[in_slot].sum())
+            stamp = state.programmed_at_us[block_index]
+            if stamp != stamp:  # NaN: first program since erase
+                state.programmed_at_us[block_index] = float(times[slot])
+
+        self.map.bind_batch(uniq, new_ppns[last_positions], ext_ppns)
+
+        for pool in pools:
+            pool.retire_active()
+        self.allocator.advance(length)
 
     # ------------------------------------------------------------------
     # Refresh daemon

@@ -3,11 +3,30 @@
 A straightforward page-mapping FTL table: logical page number (LPN) to
 physical page number (PPN) plus the reverse map GC and refresh need to
 find the owner of a physical page they are about to move.
+
+The forward map is columnar: one growable ``int64`` entry per LPN
+(:data:`NO_PPN` = unmapped) instead of a dict.  At the paper's full
+512 GB topology the logical space is tens of millions of pages — a flat
+column holds that in a few hundred MB worst-case and answers batched
+lookups (:meth:`PageMap.lookup_many`) as one numpy gather, which the
+batch execution backend leans on.  The reverse map stays a dict: it is
+sparse over the *physical* space (entries = live pages only), so a
+67 M-entry physical column would waste far more than the dict costs.
 """
 
 from __future__ import annotations
 
-__all__ = ["PageMap"]
+from array import array
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["PageMap", "NO_PPN"]
+
+#: Forward-column sentinel: this LPN is unmapped.
+NO_PPN = -1
+
+_GROW_CHUNK = 4096
 
 
 class PageMap:
@@ -18,18 +37,46 @@ class PageMap:
     """
 
     def __init__(self) -> None:
-        self._forward: dict[int, int] = {}
+        # Growable int64 column over the dense LPN space; -1 = unmapped.
+        self._forward = array("q")
         self._reverse: dict[int, int] = {}
 
+    def _grow_to(self, lpn: int) -> None:
+        """Extend the forward column to cover ``lpn`` (chunked)."""
+        needed = lpn + 1 - len(self._forward)
+        chunk = max(needed, _GROW_CHUNK)
+        self._forward.extend([NO_PPN] * chunk)
+
     def __len__(self) -> int:
-        return len(self._forward)
+        return len(self._reverse)
 
     def __contains__(self, lpn: int) -> bool:
-        return lpn in self._forward
+        forward = self._forward
+        return 0 <= lpn < len(forward) and forward[lpn] != NO_PPN
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """All (lpn, ppn) pairs, ascending by LPN."""
+        for lpn, ppn in enumerate(self._forward):
+            if ppn != NO_PPN:
+                yield lpn, ppn
 
     def lookup(self, lpn: int) -> int | None:
         """PPN currently holding ``lpn``, or None when unmapped."""
-        return self._forward.get(lpn)
+        forward = self._forward
+        if not 0 <= lpn < len(forward):
+            return None
+        ppn = forward[lpn]
+        return None if ppn == NO_PPN else ppn
+
+    def lookup_many(self, lpns) -> np.ndarray:
+        """Batched :meth:`lookup`: one gather, :data:`NO_PPN` = unmapped."""
+        lpns = np.asarray(lpns, dtype=np.int64)
+        out = np.full(len(lpns), NO_PPN, dtype=np.int64)
+        if len(self._forward):
+            forward = np.frombuffer(self._forward, dtype=np.int64)
+            in_range = (lpns >= 0) & (lpns < len(forward))
+            out[in_range] = forward[lpns[in_range]]
+        return out
 
     def owner(self, ppn: int) -> int | None:
         """LPN stored at ``ppn``, or None when the page holds no live data."""
@@ -46,19 +93,57 @@ class PageMap:
             raise ValueError(
                 f"PPN {ppn} already holds LPN {current_owner}"
             )
-        old_ppn = self._forward.get(lpn)
-        if old_ppn is not None:
+        forward = self._forward
+        if lpn >= len(forward):
+            self._grow_to(lpn)
+        old_ppn = forward[lpn]
+        if old_ppn != NO_PPN:
             del self._reverse[old_ppn]
-        self._forward[lpn] = ppn
+        forward[lpn] = ppn
         self._reverse[ppn] = lpn
-        return old_ppn
+        return None if old_ppn == NO_PPN else old_ppn
 
     def unbind(self, lpn: int) -> int | None:
         """Drop ``lpn``'s mapping; returns the freed PPN (if any)."""
-        ppn = self._forward.pop(lpn, None)
-        if ppn is not None:
-            del self._reverse[ppn]
+        forward = self._forward
+        if not 0 <= lpn < len(forward):
+            return None
+        ppn = forward[lpn]
+        if ppn == NO_PPN:
+            return None
+        forward[lpn] = NO_PPN
+        del self._reverse[ppn]
         return ppn
+
+    def bind_batch(
+        self,
+        lpns: np.ndarray,
+        ppns: np.ndarray,
+        drop_ppns: np.ndarray,
+    ) -> None:
+        """Bulk rebinding with the same net effect as sequential binds.
+
+        The caller has already resolved write order: ``lpns``/``ppns``
+        are the *final* pairs (last writer wins) and ``drop_ppns`` are
+        the previously-bound physical pages those binds displace.  The
+        forward column takes one scatter; the reverse dict one bulk
+        delete + update.
+
+        Args:
+            lpns: Distinct logical pages being (re)bound, int64.
+            ppns: Their new physical pages (fresh — not currently bound).
+            drop_ppns: Old physical homes to unbind first.
+        """
+        if len(lpns):
+            max_lpn = int(lpns.max())
+            if max_lpn >= len(self._forward):
+                self._grow_to(max_lpn)
+            forward = np.frombuffer(self._forward, dtype=np.int64)
+            forward[lpns] = ppns
+        reverse = self._reverse
+        for ppn in drop_ppns.tolist():
+            del reverse[ppn]
+        reverse.update(zip(ppns.tolist(), lpns.tolist()))
 
     def rebind_physical(self, old_ppn: int, new_ppn: int) -> int:
         """Move live data from ``old_ppn`` to ``new_ppn`` (GC / refresh).

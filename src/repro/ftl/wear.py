@@ -56,14 +56,14 @@ def collect_wear(
     table: BlockStatusTable, rated_pe_cycles: int = 3000
 ) -> WearStats:
     """Aggregate per-block erase counts into a :class:`WearStats`."""
-    counts = [block.erase_count for block in table.blocks]
-    if not counts:
+    counts = table.state.erase_count_np
+    if not len(counts):
         raise ValueError("device has no blocks")
     return WearStats(
-        total_erases=sum(counts),
-        max_erases=max(counts),
-        min_erases=min(counts),
-        mean_erases=sum(counts) / len(counts),
+        total_erases=int(counts.sum()),
+        max_erases=int(counts.max()),
+        min_erases=int(counts.min()),
+        mean_erases=float(counts.sum() / len(counts)),
         rated_pe_cycles=rated_pe_cycles,
     )
 

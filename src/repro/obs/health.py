@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..flash.errors import RberModel, ReadRetryModel
 from .metrics import MetricsRegistry
 from .slo import SloEngine
@@ -100,9 +102,9 @@ class HealthSnapshot:
         }
 
 
-def _percentile(sorted_values: list, q: float) -> float:
-    """Nearest-rank percentile of an ascending list (empty -> 0)."""
-    if not sorted_values:
+def _percentile(sorted_values, q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (empty -> 0)."""
+    if not len(sorted_values):
         return 0.0
     rank = max(1, -(-int(q * len(sorted_values)) // 100))
     return float(sorted_values[rank - 1])
@@ -201,17 +203,18 @@ class HealthMonitor:
         counters = ftl.counters
         metrics = sim.metrics
 
-        erases = sorted(block.erase_count for block in table.blocks)
-        total_erases = sum(erases)
+        erases = np.sort(table.state.erase_count_np)
+        total_erases = int(erases.sum())
+        n = len(erases)
         wear = {
-            "mean": total_erases / len(erases) if erases else 0.0,
+            "mean": total_erases / n if n else 0.0,
             "p50": _percentile(erases, 50),
             "p90": _percentile(erases, 90),
             "p99": _percentile(erases, 99),
-            "max": float(erases[-1]) if erases else 0.0,
-            "spread": float(erases[-1] - erases[0]) if erases else 0.0,
+            "max": float(erases[-1]) if n else 0.0,
+            "spread": float(erases[-1] - erases[0]) if n else 0.0,
             "total": total_erases,
-            "life_used": (erases[-1] / self.rated_pe_cycles) if erases else 0.0,
+            "life_used": (int(erases[-1]) / self.rated_pe_cycles) if n else 0.0,
         }
 
         in_use = table.in_use_blocks()
@@ -277,26 +280,29 @@ class HealthMonitor:
 
     def _rber_groups(self, table, now_us: float) -> list[dict]:
         """Estimated RBER per equal-size block group (wear + retention)."""
-        blocks = table.blocks
-        groups = min(self.block_groups, len(blocks)) or 1
-        size = -(-len(blocks) // groups)  # ceil
+        state = table.state
+        num_blocks = state.num_blocks
+        groups = min(self.block_groups, num_blocks) or 1
+        size = -(-num_blocks // groups)  # ceil
+        erase_col = state.erase_count_np
+        prog_col = state.programmed_at_us_np
         out: list[dict] = []
         for index in range(groups):
-            members = blocks[index * size : (index + 1) * size]
-            if not members:
+            lo, hi = index * size, min((index + 1) * size, num_blocks)
+            if lo >= hi:
                 continue
-            pe = sum(b.erase_count for b in members) / len(members)
-            ages = [
-                now_us - b.programmed_at_us
-                for b in members
-                if b.programmed_at_us is not None and now_us > b.programmed_at_us
-            ]
-            age_days = (sum(ages) / len(ages)) / _US_PER_DAY if ages else 0.0
+            members = hi - lo
+            pe = int(erase_col[lo:hi].sum()) / members
+            prog = prog_col[lo:hi]
+            aged = prog[~np.isnan(prog) & (prog < now_us)]
+            age_days = (
+                float((now_us - aged).mean()) / _US_PER_DAY if len(aged) else 0.0
+            )
             rber = self.rber_model.rber(int(pe), age_days)
             out.append(
                 {
                     "group": index,
-                    "blocks": len(members),
+                    "blocks": members,
                     "mean_pe_cycles": pe,
                     "mean_retention_days": age_days,
                     "est_rber": rber,
@@ -314,17 +320,15 @@ class HealthMonitor:
         internal queues) is not keeping up with aging.
         """
         period = ftl.refresh_policy.period_us
-        backlog = 0
-        for pool in ftl.table.planes:
-            for block in pool.used_blocks():
-                if not block.is_full or block.valid_count == 0:
-                    continue
-                age_start = block.programmed_at_us
-                if age_start is None:
-                    continue
-                if now_us - age_start >= period:
-                    backlog += 1
-        return backlog
+        state = ftl.table.state
+        prog = state.programmed_at_us_np
+        with np.errstate(invalid="ignore"):  # NaN = never programmed
+            overdue = (
+                (state.next_page_np >= state.pages_per_block)
+                & (state.valid_count_np > 0)
+                & (now_us - prog >= period)
+            )
+        return int(np.count_nonzero(overdue))
 
     @staticmethod
     def _queue_depths(sim) -> dict:

@@ -1,0 +1,126 @@
+"""Optional numba acceleration for the batch-backend kernels.
+
+numba is an *optional* extra (``pip install .[accel]``); the simulator
+must work — and stay byte-identical — without it.  This module is the
+single gate: it probes for the dependency once, compiles the jitted
+kernel variants lazily, and reports the outcome exactly once through a
+metrics-registry gauge (plus a debug log line), so a run's provenance
+records whether it executed jitted or plain-numpy kernels.
+
+The jitted kernels compute the same IEEE operations in the same order
+as their numpy counterparts in :mod:`repro.sim.kernels`; parity tests
+pin that whenever numba is present.
+
+Set ``REPRO_NO_NUMBA=1`` to force the numpy fallback even when numba is
+installed (the CI backend matrix uses this to cover both paths).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+import numpy as np
+
+from . import kernels
+
+__all__ = [
+    "numba_available",
+    "accel_active",
+    "leading_failure_counter",
+    "publish_accel_state",
+]
+
+_log = logging.getLogger(__name__)
+
+#: Lazy probe state: None = not probed yet.
+_available: bool | None = None
+#: Compiled kernel cache (built on first use when numba is active).
+_jitted_counter = None
+#: Registries already told about the accel state (log-once discipline).
+_announced: set[int] = set()
+
+
+def numba_available() -> bool:
+    """Whether the numba import succeeds (probed once, cached)."""
+    global _available
+    if _available is None:
+        try:
+            import numba  # noqa: F401
+
+            _available = True
+        except ImportError:
+            _available = False
+    return _available
+
+
+def accel_active() -> bool:
+    """Whether jitted kernels will actually be used.
+
+    Requires numba to import *and* ``REPRO_NO_NUMBA`` to be unset/empty.
+    """
+    if os.environ.get("REPRO_NO_NUMBA"):
+        return False
+    return numba_available()
+
+
+def _build_jitted_counter():
+    """Compile the leading-failure counter with numba (first use only)."""
+    from numba import njit  # deferred: only reached when available
+
+    @njit(cache=True)
+    def _count(draws, fail_probs):  # pragma: no cover - needs numba
+        n, width = draws.shape
+        out = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            p = fail_probs[i]
+            count = 0
+            for j in range(width):
+                if draws[i, j] < p:
+                    count += 1
+                else:
+                    break
+            out[i] = count
+        return out
+
+    return _count
+
+
+def leading_failure_counter():
+    """The fastest available leading-failure counter.
+
+    Returns the numba-jitted kernel when active, otherwise the numpy
+    reference from :mod:`repro.sim.kernels`.  Both consume identical
+    inputs and produce identical outputs.
+    """
+    global _jitted_counter
+    if not accel_active():
+        return kernels.count_leading_failures
+    if _jitted_counter is None:
+        _jitted_counter = _build_jitted_counter()
+    return _jitted_counter
+
+
+def publish_accel_state(registry) -> None:
+    """Record the accel outcome in a metrics registry, once per registry.
+
+    Publishes the gauge ``sim_accel_numba_active`` (1 = jitted kernels,
+    0 = numpy fallback) and logs the fallback at debug level the first
+    time each registry sees it.  ``None`` registries are ignored — the
+    no-observability path stays zero-cost.
+    """
+    if registry is None:
+        return
+    key = id(registry)
+    if key in _announced:
+        return
+    _announced.add(key)
+    active = accel_active()
+    registry.gauge(
+        "sim_accel_numba_active",
+        "1 when batch-backend kernels run numba-jitted, 0 on numpy fallback",
+    ).unlabeled.set(1.0 if active else 0.0)
+    if not active:
+        _log.debug(
+            "numba unavailable or disabled; batch backend uses numpy kernels"
+        )

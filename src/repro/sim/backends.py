@@ -1,0 +1,176 @@
+"""Execution backends: how a run's events reach the simulation engine.
+
+The simulator's *semantics* live in the FTL, the stage pipelines and the
+scheduling policies; this module owns only the *mechanics* of getting a
+workload through the event loop.  Two interchangeable backends sit
+behind the same :class:`SimEngine` / :class:`OpPipeline` interfaces:
+
+* :class:`ReferenceBackend` — the event-at-a-time baseline: every
+  request admitted with one ``engine.at`` call, every untimed write
+  applied through the scalar FTL path.  This is the semantics oracle.
+* :class:`BatchBackend` — the vectorized path: sorted request streams
+  admitted via :meth:`SimEngine.add_stream` (heap stays small; sequence
+  numbers match the reference by construction), untimed preload / aging
+  / background batches collapsed into columnar segments via
+  :meth:`Ftl.apply_untimed_batch`, and the drain running with per-event
+  peak-queue bookkeeping off when nothing observes it.
+
+Byte-identical results across backends is a hard contract, pinned by
+the parity suite (``tests/sim/test_backend_parity.py``) and the golden
+fig8 artifact.  Consequently the batch backend silently falls back to
+reference admission whenever a tracer is attached: the ``run_end``
+trace event reports ``peak_pending_events``, which the streamed fast
+path deliberately does not track.
+
+The registry mirrors :data:`repro.sim.policy.POLICIES`: select by name
+through ``SsdSimulator(backend=...)``, the experiment runner, sweep
+units, or the CLI ``--backend`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .scheduler import HostRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ssd import SsdSimulator
+
+__all__ = [
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "BatchBackend",
+    "ENGINE_BACKENDS",
+    "make_backend",
+]
+
+
+class ExecutionBackend:
+    """How requests, untimed writes and the drain reach the engine.
+
+    Subclasses must preserve event order exactly: the (time, sequence)
+    total order of everything they admit has to match what the
+    reference admission would produce, or determinism across backends
+    breaks.
+    """
+
+    name = "abstract"
+
+    def admit_requests(
+        self,
+        sim: "SsdSimulator",
+        ordered: list[HostRequest],
+        make_dispatch: Callable[[HostRequest], Callable[[], None]],
+    ) -> None:
+        """Admit a time-sorted request stream before the run starts."""
+        raise NotImplementedError
+
+    def apply_untimed(self, sim: "SsdSimulator", lpns, times) -> None:
+        """Apply untimed writes (preload / aging / background batches).
+
+        ``times`` is a scalar or a per-write array; the final FTL and
+        device state must equal a scalar ``write_untimed`` loop.
+        """
+        raise NotImplementedError
+
+    def schedule_background(
+        self,
+        sim: "SsdSimulator",
+        background_updates: list[tuple[float, list[int]]] | None,
+    ) -> None:
+        """Schedule untimed background-update batches at their times."""
+        for time_us, lpns in background_updates or []:
+            lpn_list = list(lpns)
+
+            def apply(lpn_list=lpn_list) -> None:
+                self.apply_untimed(sim, lpn_list, sim.engine.now)
+
+            sim.engine.at(time_us, apply)
+
+    def drain(self, sim: "SsdSimulator") -> None:
+        """Run the engine until every admitted event has fired."""
+        sim.engine.run()
+
+
+class ReferenceBackend(ExecutionBackend):
+    """Event-at-a-time execution — the semantics oracle."""
+
+    name = "reference"
+
+    def admit_requests(self, sim, ordered, make_dispatch):
+        for request in ordered:
+            sim.engine.at(request.arrival_us, make_dispatch(request))
+
+    def apply_untimed(self, sim, lpns, times):
+        write_untimed = sim.ftl.write_untimed
+        if np.ndim(times) == 0:
+            now = float(times)
+            for lpn in lpns:
+                write_untimed(int(lpn), now)
+        else:
+            for lpn, time_us in zip(lpns, times):
+                write_untimed(int(lpn), float(time_us))
+
+
+class BatchBackend(ExecutionBackend):
+    """Vectorized execution: streamed admission, columnar untimed writes.
+
+    Results are byte-identical to :class:`ReferenceBackend`; only the
+    constant factors change.  When a tracer is attached, admission and
+    the drain revert to the reference mechanics so the traced
+    ``peak_pending_events`` statistic stays exact.
+    """
+
+    name = "batch"
+
+    def admit_requests(self, sim, ordered, make_dispatch):
+        if sim.tracer.enabled:
+            for request in ordered:
+                sim.engine.at(request.arrival_us, make_dispatch(request))
+            return
+        sim.engine.add_stream(
+            (request.arrival_us, make_dispatch(request)) for request in ordered
+        )
+
+    def apply_untimed(self, sim, lpns, times):
+        apply_batch = getattr(sim.ftl, "apply_untimed_batch", None)
+        if apply_batch is None:
+            # Duck-typed FTL without the columnar bulk path.
+            ReferenceBackend.apply_untimed(self, sim, lpns, times)
+            return
+        apply_batch(lpns, times)
+
+    def drain(self, sim):
+        sim.engine.run_until_idle(track_peak=sim.tracer.enabled)
+
+
+#: Registry of selectable backends (CLI ``--backend`` / runner /
+#: :class:`~repro.experiments.parallel.RunUnit`), mirroring
+#: :data:`repro.sim.policy.POLICIES`.
+ENGINE_BACKENDS: dict[str, type[ExecutionBackend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    BatchBackend.name: BatchBackend,
+}
+
+
+def make_backend(spec: "ExecutionBackend | str | None") -> ExecutionBackend:
+    """Resolve a backend instance from a name / instance / ``None``.
+
+    ``None`` yields the reference backend (semantics oracle stays the
+    default; opting into the fast path is explicit).  Unknown names
+    raise ``ValueError`` listing the valid choices.
+    """
+    if spec is None:
+        return ReferenceBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    try:
+        cls = ENGINE_BACKENDS[spec]
+    except KeyError:
+        valid = ", ".join(sorted(ENGINE_BACKENDS))
+        raise ValueError(
+            f"unknown execution backend {spec!r}; choose one of: {valid}"
+        ) from None
+    return cls()

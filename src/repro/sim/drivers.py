@@ -32,22 +32,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["run_open_loop", "run_closed_loop"]
 
 
-def _make_background_batch(sim: "SsdSimulator", lpns: list[int]):
-    def apply() -> None:
-        for lpn in lpns:
-            sim.ftl.write_untimed(lpn, sim.engine.now)
-
-    return apply
-
-
-def _schedule_background(
-    sim: "SsdSimulator",
-    background_updates: list[tuple[float, list[int]]] | None,
-) -> None:
-    for time_us, lpns in background_updates or []:
-        sim.engine.at(time_us, _make_background_batch(sim, list(lpns)))
-
-
 def _begin_run(sim: "SsdSimulator", mode: str, n_requests: int) -> None:
     if sim.collector is not None:
         sim.collector.start()
@@ -116,9 +100,8 @@ def run_open_loop(
 
         return dispatch
 
-    for request in ordered:
-        sim.engine.at(request.arrival_us, make_dispatch(request))
-    _schedule_background(sim, background_updates)
+    sim.backend.admit_requests(sim, ordered, make_dispatch)
+    sim.backend.schedule_background(sim, background_updates)
 
     # Refresh daemon: scan on the FTL's cadence until the trace ends.
     trace_end = ordered[-1].arrival_us
@@ -133,7 +116,7 @@ def run_open_loop(
         sim.engine.after(interval, tick)
 
     _begin_run(sim, "open_loop", len(ordered))
-    sim.engine.run()
+    sim.backend.drain(sim)
     sim.metrics.start_us = ordered[0].arrival_us
     sim.metrics.end_us = sim.engine.now
     sim.fold_counters()
@@ -187,7 +170,7 @@ def run_closed_loop(
 
     for _ in range(min(queue_depth, total)):
         sim.engine.after(0.0, issue_next)
-    _schedule_background(sim, background_updates)
+    sim.backend.schedule_background(sim, background_updates)
 
     # No refresh daemon deadline in closed-loop mode: scan on a fixed
     # cadence until the stream completes, then let the queues drain.
@@ -200,7 +183,7 @@ def run_closed_loop(
 
     sim.engine.after(interval, refresh_tick)
     _begin_run(sim, "closed_loop", total)
-    sim.engine.run()
+    sim.backend.drain(sim)
     sim.metrics.start_us = 0.0
     sim.metrics.end_us = sim.engine.now
     sim.fold_counters()

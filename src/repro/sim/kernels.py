@@ -1,0 +1,140 @@
+"""Array kernels for the batch execution backend.
+
+The reference simulator computes read-path quantities one op at a time
+(:meth:`TimingSpec.read_us`, :meth:`ReadRetryModel.sample_retries`,
+:meth:`RberModel.rber`).  The batch backend drains same-timestamp
+cohorts, so the same math is needed over whole arrays at once.  Every
+kernel here is *exact* with respect to its scalar counterpart:
+
+* latency and decode-failure probabilities are materialised as dense
+  lookup tables indexed by sense count, built by calling the scalar
+  model once per possible count — by construction the LUT gather cannot
+  diverge from the scalar path;
+* retry sampling consumes the RNG stream draw-for-draw like
+  ``sample_retries`` (``max_retries`` uniforms per read, row-major), so
+  common-random-number pairing across baseline/IDA runs survives
+  batching.
+
+The hot inner loops are plain numpy; :mod:`repro.sim.accel` swaps in
+numba-jitted versions when the optional dependency is installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "read_latency_lut",
+    "page_fail_lut",
+    "sample_retry_counts",
+    "count_leading_failures",
+    "read_service_us",
+    "rber_curve",
+]
+
+
+def read_latency_lut(timing, max_senses: int) -> np.ndarray:
+    """Sense-count -> memory-access latency table (index 0 is NaN).
+
+    Built from :meth:`TimingSpec.read_us` itself, so power-of-two
+    rounding and the dtR step stay exactly the scalar model's.
+    """
+    if max_senses < 1:
+        raise ValueError("max_senses must be >= 1")
+    lut = np.empty(max_senses + 1, dtype=np.float64)
+    lut[0] = np.nan
+    for senses in range(1, max_senses + 1):
+        lut[senses] = timing.read_us(senses)
+    return lut
+
+
+def page_fail_lut(retry_model, max_senses: int) -> np.ndarray:
+    """Sense-count -> per-attempt decode-failure probability table."""
+    if max_senses < 1:
+        raise ValueError("max_senses must be >= 1")
+    lut = np.zeros(max_senses + 1, dtype=np.float64)
+    if retry_model.fail_prob == 0.0:
+        return lut
+    for senses in range(1, max_senses + 1):
+        lut[senses] = retry_model.page_fail_prob(senses)
+    return lut
+
+
+def count_leading_failures(
+    draws: np.ndarray, fail_probs: np.ndarray
+) -> np.ndarray:
+    """Per-row count of leading uniforms below the row's threshold.
+
+    ``draws`` is ``(n, max_retries)`` row-major — row ``i`` holds the
+    uniforms the ``i``-th sequential ``sample_retries`` call would have
+    drawn — and the result is that call's retry count: failures stop at
+    the first draw >= ``fail_probs[i]``.
+    """
+    if draws.size == 0:
+        return np.zeros(len(draws), dtype=np.int64)
+    failing = draws < fail_probs[:, None]
+    retries = np.argmin(failing, axis=1)
+    retries[failing.all(axis=1)] = draws.shape[1]
+    return retries.astype(np.int64, copy=False)
+
+
+def sample_retry_counts(
+    rng: np.random.Generator,
+    retry_model,
+    senses: np.ndarray,
+    fail_lut: np.ndarray | None = None,
+    counter=count_leading_failures,
+) -> np.ndarray:
+    """Batched :meth:`ReadRetryModel.sample_retries` on one RNG stream.
+
+    Consumes exactly what ``len(senses)`` sequential calls would:
+    nothing when ``fail_prob`` is zero, otherwise ``max_retries``
+    uniforms per read in call order — so a batched run and a scalar run
+    leave the generator in the identical state.
+
+    Args:
+        rng: The host-read retry stream.
+        retry_model: The scalar :class:`ReadRetryModel`.
+        senses: Per-read sense counts, int array.
+        fail_lut: Optional precomputed :func:`page_fail_lut`.
+        counter: The leading-failure counter (accel hook point).
+    """
+    n = len(senses)
+    if retry_model.fail_prob == 0.0 or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    if fail_lut is None:
+        fail_lut = page_fail_lut(retry_model, int(np.max(senses)))
+    draws = rng.random((n, retry_model.max_retries))
+    return counter(draws, fail_lut[senses])
+
+
+def read_service_us(
+    sense_us: np.ndarray,
+    retries: np.ndarray,
+    transfer_us: float,
+    ecc_decode_us: float,
+) -> np.ndarray:
+    """Uncontended service time of a read cohort.
+
+    Mirrors the stage durations of :func:`repro.sim.pipeline.read_stages`
+    — sense and ECC decode repeat once per pass (1 + retries), the
+    channel transfer happens once.
+    """
+    passes = 1.0 + retries
+    return sense_us * passes + transfer_us + ecc_decode_us * passes
+
+
+def rber_curve(
+    rber_model,
+    pe_cycles: np.ndarray,
+    retention_days: np.ndarray | float = 0.0,
+) -> np.ndarray:
+    """Vectorised :meth:`RberModel.rber` over block populations."""
+    wear_fraction = np.minimum(
+        1.0, np.asarray(pe_cycles, dtype=np.float64) / rber_model.rated_pe_cycles
+    )
+    wear_term = np.exp(rber_model.wear_exponent * wear_fraction)
+    retention_term = 1.0 + rber_model.retention_slope * np.asarray(
+        retention_days, dtype=np.float64
+    )
+    return rber_model.base_rber * wear_term * retention_term

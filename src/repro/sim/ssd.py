@@ -43,6 +43,8 @@ from ..ftl.ops import FlashTranslation, OpKind, PhysOp
 from ..ftl.refresh import RefreshPolicy
 from ..obs.interval import IntervalCollector
 from ..obs.tracer import NULL_TRACER, Tracer
+from .accel import publish_accel_state
+from .backends import ExecutionBackend, make_backend
 from .drivers import run_closed_loop, run_open_loop
 from .engine import SimEngine
 from .metrics import SimMetrics
@@ -85,6 +87,11 @@ class SsdSimulator:
         policy: Scheduling policy instance or registry name
             (``"read-first"`` / ``"fcfs"`` / ``"throttled"``); ``None``
             selects the paper's read-first default.
+        backend: Execution backend instance or registry name
+            (``"reference"`` / ``"batch"``, see
+            :mod:`repro.sim.backends`); ``None`` selects the
+            event-at-a-time reference.  Backends change only run
+            mechanics — metrics and traces are byte-identical.
         tracer: Structured event tracer; ``None`` = tracing disabled
             (the null fast path).  Tracing is passive: it never schedules
             events, touches RNG streams, or alters metrics.
@@ -126,12 +133,14 @@ class SsdSimulator:
         profiler=None,
         faults: FaultPlan | None = None,
         health=None,
+        backend: ExecutionBackend | str | None = None,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
         self.engine = SimEngine()
         self.metrics = SimMetrics()
         self.policy = make_policy(policy)
+        self.backend = make_backend(backend)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.collector = collector
         self.retry_model = retry_model or ReadRetryModel(fail_prob=0.0)
@@ -214,6 +223,7 @@ class SsdSimulator:
                     "extra sensing passes forced by failed LDPC decodes",
                 ).unlabeled
                 self.ftl.bind_telemetry(registry)
+                publish_accel_state(registry)
 
     # ------------------------------------------------------------------
     # Preconditioning
@@ -229,13 +239,12 @@ class SsdSimulator:
         if not lpn_list:
             return
         step = (end_us - start_us) / len(lpn_list)
-        for index, lpn in enumerate(lpn_list):
-            self.ftl.write_untimed(lpn, start_us + index * step)
+        times = start_us + np.arange(len(lpn_list), dtype=np.float64) * step
+        self.backend.apply_untimed(self, lpn_list, times)
 
     def age(self, lpns: Iterable[int], pseudo_now_us: float) -> None:
         """Untimed update writes — creates the invalid lower pages IDA needs."""
-        for lpn in lpns:
-            self.ftl.write_untimed(lpn, pseudo_now_us)
+        self.backend.apply_untimed(self, list(lpns), pseudo_now_us)
 
     # ------------------------------------------------------------------
     # Trace execution (delegates to the workload drivers)

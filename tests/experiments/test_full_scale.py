@@ -1,0 +1,72 @@
+"""The paper's full 512 GB topology is buildable and runnable.
+
+``RunScale.full()`` is the Table II device with no topology shrinkage:
+64 planes x 5472 blocks = 350,208 blocks, 67 M physical pages.  The
+per-object simulator could never hold that; the columnar
+:class:`~repro.flash.state.DeviceState` must — in a few hundred MB of
+flat buffers — and a short fig8 slice must run on it end to end via the
+batch backend.  These tests pin both the scale numbers and the memory
+bound so a regression back toward per-page Python objects fails fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.config import RunScale
+from repro.experiments.runner import build_simulator, run_workload
+from repro.experiments.systems import ida
+from repro.flash.geometry import Geometry
+from repro.flash.state import DeviceState
+from repro.workloads import workload
+
+FULL_BLOCKS = 350_208
+
+
+class TestFullTopologyState:
+    def test_full_scale_is_the_table2_device(self):
+        scale = RunScale.full()
+        geometry = scale.apply_topology(Geometry())
+        assert geometry.total_planes == 64
+        assert geometry.blocks_per_plane == 5472
+        assert geometry.total_blocks == FULL_BLOCKS
+        assert 500 <= geometry.capacity_gib <= 520
+
+    def test_columnar_state_fits_bounded_memory(self):
+        geometry = RunScale.full().apply_topology(Geometry())
+        state = DeviceState(
+            geometry.total_blocks, geometry.pages_per_block, geometry.bits_per_cell
+        )
+        assert state.num_blocks == FULL_BLOCKS
+        # 67 M page-state bytes + 22 M wordline modes + 8-byte wordline
+        # read counters (~180 MB) + five 350 K-entry block columns:
+        # ~268 MB total for the whole 512 GB device.
+        assert state.memory_bytes() < 320 * 1024 * 1024
+
+    def test_simulator_builds_at_full_topology(self):
+        scale = RunScale.full()
+        sim = build_simulator(
+            ida(0.2), scale, duration_us=1e6, seed=11, backend="batch"
+        )
+        assert sim.ftl.table.state.num_blocks == FULL_BLOCKS
+        assert len(sim.dies) == 32
+        assert sim.backend.name == "batch"
+
+
+class TestFullTopologySlice:
+    def test_short_fig8_slice_runs_on_full_device(self):
+        # Full 350,208-block topology, shortened request stream and
+        # footprint so the smoke test stays in CI time: the point is
+        # that preload, refresh, GC and the host path all work against
+        # the full-size columnar state, not the workload length.
+        scale = replace(
+            RunScale.full(), num_requests=150, footprint_pages=120_000
+        )
+        result = run_workload(
+            ida(0.2), workload("usr_1"), scale, seed=11, backend="batch"
+        )
+        metrics = result.metrics
+        assert metrics.read_response.count > 0
+        assert metrics.write_response.count > 0
+        assert metrics.elapsed_us > 0
+        assert result.in_use_blocks > 64  # footprint actually landed

@@ -1,0 +1,188 @@
+"""Execution-backend parity: batch must be invisible in the results.
+
+The backend registry's contract (``repro.sim.backends``) is that a
+backend is a pure wall-clock knob: reference and batch runs of the same
+seeded unit produce byte-identical metrics, block censuses and trace
+streams.  These are property-style checks — a seeded RNG draws small
+workload/policy/fault combinations and every drawn cell must agree
+exactly, inline and on a 4-worker pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.experiments.config import RunScale
+from repro.experiments.parallel import RunUnit, execute_units
+from repro.experiments.reporting import metrics_summary
+from repro.experiments.runner import run_workload, run_workload_closed_loop
+from repro.experiments.systems import baseline, ida
+from repro.faults import FaultPlan
+from repro.obs.tracer import MemorySink, Tracer
+from repro.workloads import workload
+
+POLICIES = ("read-first", "fcfs", "throttled")
+TRACES = ("hm_1", "usr_1", "stg_1", "src1_0")
+
+
+def _tiny_fault_plan(seed: int) -> FaultPlan:
+    scale = RunScale.tiny()
+    return FaultPlan.generate(
+        seed=seed,
+        duration_us=50_000.0,
+        total_blocks=scale.blocks_per_plane * 4,
+        program_fails=2,
+        grown_bad=1,
+        uncorrectable_reads=3,
+        adjust_interrupts=1,
+        max_program_ordinal=scale.num_requests // 2,
+        max_read_ordinal=scale.num_requests,
+        read_reclaim_threshold=12,
+        name=f"backend-parity-{seed}",
+    )
+
+
+def _fingerprint(result) -> str:
+    """Canonical byte string of everything a run reports."""
+    return json.dumps(
+        {
+            "metrics": metrics_summary(result.metrics),
+            "in_use_blocks": result.in_use_blocks,
+            "ida_blocks": result.ida_blocks,
+            "refresh": [
+                dataclasses.asdict(report) for report in result.refresh_reports
+            ],
+            "faults": result.faults,
+        },
+        sort_keys=True,
+    )
+
+
+def _drawn_cells(seed: int, count: int) -> list[tuple]:
+    """Seeded draw of (trace, policy, faulted, seed) property cells."""
+    rng = random.Random(seed)
+    cells = []
+    for _ in range(count):
+        cells.append(
+            (
+                rng.choice(TRACES),
+                rng.choice(POLICIES),
+                rng.random() < 0.5,
+                rng.randrange(1, 1000),
+            )
+        )
+    return cells
+
+
+class TestOpenLoopParity:
+    @pytest.mark.parametrize("cell", _drawn_cells(seed=2018, count=5))
+    def test_random_cells_are_byte_identical(self, cell):
+        trace, policy, faulted, seed = cell
+        system = ida(0.2).with_policy(policy)
+        faults = _tiny_fault_plan(seed) if faulted else None
+        results = {
+            name: run_workload(
+                system,
+                workload(trace),
+                RunScale.tiny(),
+                seed=seed,
+                faults=faults,
+                backend=name,
+            )
+            for name in ("reference", "batch")
+        }
+        assert _fingerprint(results["reference"]) == _fingerprint(
+            results["batch"]
+        ), f"backend divergence on cell {cell}"
+
+    def test_baseline_system_parity(self):
+        results = {
+            name: run_workload(
+                baseline(), workload("usr_1"), RunScale.tiny(), seed=11, backend=name
+            )
+            for name in ("reference", "batch")
+        }
+        assert _fingerprint(results["reference"]) == _fingerprint(
+            results["batch"]
+        )
+
+
+class TestClosedLoopParity:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_policies_are_byte_identical(self, policy):
+        results = {
+            name: run_workload_closed_loop(
+                ida(0.2).with_policy(policy),
+                workload("hm_1"),
+                RunScale.tiny(),
+                queue_depth=16,
+                seed=7,
+                backend=name,
+            )
+            for name in ("reference", "batch")
+        }
+        assert _fingerprint(results["reference"]) == _fingerprint(
+            results["batch"]
+        )
+
+
+class TestTraceStreamParity:
+    def test_trace_events_are_byte_identical(self):
+        """With tracing on, the batch backend reverts to tracked
+        admission, so even engine-internal fields (processed event
+        counts, peak pending) must match event-for-event."""
+        streams = {}
+        for name in ("reference", "batch"):
+            sink = MemorySink()
+            run_workload(
+                ida(0.2),
+                workload("hm_1"),
+                RunScale.tiny(),
+                seed=11,
+                tracer=Tracer(sink),
+                backend=name,
+            )
+            streams[name] = [
+                json.dumps(event, sort_keys=True) for event in sink.events
+            ]
+        assert streams["reference"] == streams["batch"]
+        assert len(streams["reference"]) > 10  # the trace actually recorded
+
+
+class TestPooledParity:
+    def test_inline_vs_four_workers_on_both_backends(self):
+        """`backend` and `jobs` compose: every (backend, jobs) combination
+        of the same unit grid reports identical payload summaries."""
+        units = {
+            name: [
+                RunUnit(
+                    ida(0.2).with_policy(policy),
+                    trace,
+                    RunScale.tiny(),
+                    seed=11,
+                    backend=name,
+                )
+                for trace in ("hm_1", "usr_1")
+                for policy in ("read-first", "fcfs")
+            ]
+            for name in ("reference", "batch")
+        }
+        outcomes = {
+            (name, jobs): execute_units(units[name], jobs=jobs)
+            for name in ("reference", "batch")
+            for jobs in (1, 4)
+        }
+        canonical = [
+            json.dumps(p.metrics_summary(), sort_keys=True)
+            for p in outcomes[("reference", 1)]
+        ]
+        for key, payloads in outcomes.items():
+            got = [
+                json.dumps(p.metrics_summary(), sort_keys=True)
+                for p in payloads
+            ]
+            assert got == canonical, f"divergence at {key}"

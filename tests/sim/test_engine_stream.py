@@ -1,0 +1,147 @@
+"""Stream admission and idle-drain fast paths of the event engine.
+
+``add_stream`` is the batch backend's admission path: a time-sorted run
+of events that bypasses the heap but reserves the exact sequence numbers
+per-event ``at()`` calls would have consumed, so the merged firing order
+is byte-identical.  These tests pin that equivalence and the error
+contract, plus the ``run_until_idle(track_peak=False)`` bookkeeping
+trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimEngine
+
+
+def _record(log: list, tag: str):
+    def callback() -> None:
+        log.append(tag)
+
+    return callback
+
+
+class TestStreamOrdering:
+    def test_stream_alone_fires_in_time_order(self):
+        engine = SimEngine()
+        log: list[str] = []
+        n = engine.add_stream(
+            [(1.0, _record(log, "a")), (2.0, _record(log, "b")), (2.0, _record(log, "c"))]
+        )
+        assert n == 3
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 2.0
+        assert engine.processed == 3
+
+    def test_stream_merges_against_heap_by_time_then_seq(self):
+        """Heap events scheduled BEFORE the stream hold earlier sequence
+        numbers, so at equal times they fire first; events scheduled
+        after (from callbacks) hold later ones and fire after."""
+        engine = SimEngine()
+        log: list[str] = []
+        engine.at(2.0, _record(log, "heap-before"))
+        engine.add_stream([(1.0, _record(log, "s1")), (2.0, _record(log, "s2"))])
+        engine.at(2.0, _record(log, "heap-after"))
+        engine.run()
+        assert log == ["s1", "heap-before", "s2", "heap-after"]
+
+    def test_stream_matches_at_admission_byte_for_byte(self):
+        """The equivalence the batch backend relies on: same callbacks,
+        same times → identical firing order under either admission."""
+        times = [0.0, 0.5, 0.5, 1.5, 1.5, 1.5, 3.0]
+
+        def run(use_stream: bool) -> list[int]:
+            engine = SimEngine()
+            log: list[int] = []
+            # A callback that schedules follow-up work, like dispatches do.
+            def make(i: int):
+                def callback() -> None:
+                    log.append(i)
+                    if i % 2 == 0:
+                        engine.after(0.25, _record(log, -i))
+
+                return callback
+
+            events = [(t, make(i)) for i, t in enumerate(times)]
+            if use_stream:
+                engine.add_stream(events)
+            else:
+                for t, cb in events:
+                    engine.at(t, cb)
+            engine.run()
+            return log
+
+        assert run(use_stream=True) == run(use_stream=False)
+
+    def test_callbacks_may_schedule_past_the_stream_tail(self):
+        engine = SimEngine()
+        log: list[str] = []
+
+        def chain() -> None:
+            log.append("head")
+            engine.after(10.0, _record(log, "tail"))
+
+        engine.add_stream([(1.0, chain)])
+        engine.run()
+        assert log == ["head", "tail"]
+        assert engine.now == 11.0
+
+
+class TestStreamErrors:
+    def test_unsorted_stream_rejected(self):
+        engine = SimEngine()
+        with pytest.raises(ValueError, match="sorted"):
+            engine.add_stream([(2.0, lambda: None), (1.0, lambda: None)])
+
+    def test_past_time_rejected(self):
+        engine = SimEngine()
+        engine.at(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+        with pytest.raises(ValueError, match="cannot schedule"):
+            engine.add_stream([(1.0, lambda: None)])
+
+    def test_second_stream_before_drain_rejected(self):
+        engine = SimEngine()
+        engine.add_stream([(1.0, lambda: None)])
+        with pytest.raises(RuntimeError, match="not drained"):
+            engine.add_stream([(2.0, lambda: None)])
+
+    def test_new_stream_allowed_after_drain(self):
+        engine = SimEngine()
+        log: list[str] = []
+        engine.add_stream([(1.0, _record(log, "first"))])
+        engine.run()
+        engine.add_stream([(2.0, _record(log, "second"))])
+        engine.run()
+        assert log == ["first", "second"]
+
+
+class TestRunUntilIdle:
+    def test_counts_stay_exact_without_peak_tracking(self):
+        engine = SimEngine()
+        for i in range(5):
+            engine.at(float(i), lambda: None)
+        engine.run_until_idle(track_peak=False)
+        assert engine.processed == 5
+        assert engine.pending == 0
+
+    def test_peak_tracking_restored_after_fast_drain(self):
+        engine = SimEngine()
+        engine.at(1.0, lambda: None)
+        engine.run_until_idle(track_peak=False)
+        # Pushes after the drain must update the high-water mark again.
+        before = engine.peak_pending
+        engine.at(2.0, lambda: None)
+        engine.at(3.0, lambda: None)
+        assert engine.peak_pending >= max(before, 2)
+
+    def test_stream_events_bypass_peak_statistic(self):
+        engine = SimEngine()
+        engine.add_stream([(float(i), lambda: None) for i in range(10)])
+        assert engine.pending == 10
+        engine.run_until_idle(track_peak=False)
+        assert engine.peak_pending == 0
+        assert engine.processed == 10

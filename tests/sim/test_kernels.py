@@ -1,0 +1,160 @@
+"""Batch-kernel parity: every array kernel must equal its scalar twin.
+
+The batch backend's correctness rests on the kernels in
+``repro.sim.kernels`` being *exact* — LUT gathers that cannot diverge
+from the scalar models they were built from, and a retry sampler that
+consumes the RNG stream draw-for-draw like ``sample_retries``.  These
+tests compare against the scalar path elementwise (``==``, not
+``allclose``) and check generator-state equality, plus the accel
+module's numpy-fallback contract in a numba-free environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash.errors import RberModel, ReadRetryModel
+from repro.flash.timing import TimingSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import accel, kernels
+
+
+class TestLatencyLut:
+    @pytest.mark.parametrize(
+        "timing",
+        [TimingSpec.tlc_table2(), TimingSpec.mlc_spec(), TimingSpec.qlc_spec()],
+        ids=["tlc", "mlc", "qlc"],
+    )
+    def test_lut_equals_scalar_model(self, timing):
+        lut = kernels.read_latency_lut(timing, max_senses=15)
+        assert np.isnan(lut[0])
+        for senses in range(1, 16):
+            assert lut[senses] == timing.read_us(senses)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            kernels.read_latency_lut(TimingSpec.tlc_table2(), max_senses=0)
+
+
+class TestFailLut:
+    def test_lut_equals_scalar_model(self):
+        model = ReadRetryModel(fail_prob=0.45, max_retries=7)
+        lut = kernels.page_fail_lut(model, max_senses=8)
+        for senses in range(1, 9):
+            assert lut[senses] == model.page_fail_prob(senses)
+
+    def test_zero_fail_prob_is_all_zero(self):
+        lut = kernels.page_fail_lut(ReadRetryModel(fail_prob=0.0), max_senses=8)
+        assert not lut.any()
+
+
+class TestRetrySampling:
+    def test_counts_match_sequential_scalar_calls(self):
+        model = ReadRetryModel(fail_prob=0.5, max_retries=7)
+        senses = np.array([1, 2, 4, 4, 8, 1, 4, 2, 8, 4], dtype=np.int64)
+        scalar_rng = np.random.default_rng(42)
+        batch_rng = np.random.default_rng(42)
+        expected = np.array(
+            [model.sample_retries(scalar_rng, int(s)) for s in senses]
+        )
+        got = kernels.sample_retry_counts(batch_rng, model, senses)
+        assert (got == expected).all()
+
+    def test_rng_stream_state_identical_after_batch(self):
+        """The CRN guarantee: a batched run leaves the generator exactly
+        where the equivalent scalar run would."""
+        model = ReadRetryModel(fail_prob=0.3, max_retries=5)
+        senses = np.array([4] * 23, dtype=np.int64)
+        scalar_rng = np.random.default_rng(7)
+        batch_rng = np.random.default_rng(7)
+        for s in senses:
+            model.sample_retries(scalar_rng, int(s))
+        kernels.sample_retry_counts(batch_rng, model, senses)
+        assert scalar_rng.bit_generator.state == batch_rng.bit_generator.state
+
+    def test_zero_fail_prob_consumes_no_draws(self):
+        model = ReadRetryModel(fail_prob=0.0)
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        got = kernels.sample_retry_counts(rng, model, np.array([4, 4, 4]))
+        assert not got.any()
+        assert rng.bit_generator.state == before
+
+    def test_empty_cohort(self):
+        model = ReadRetryModel(fail_prob=0.5)
+        rng = np.random.default_rng(3)
+        got = kernels.sample_retry_counts(rng, model, np.array([], dtype=np.int64))
+        assert got.shape == (0,)
+
+    def test_count_leading_failures_stops_at_first_success(self):
+        draws = np.array(
+            [
+                [0.1, 0.1, 0.9, 0.1],  # two failures, then success
+                [0.9, 0.1, 0.1, 0.1],  # immediate success
+                [0.1, 0.1, 0.1, 0.1],  # all four fail (cap)
+            ]
+        )
+        probs = np.array([0.5, 0.5, 0.5])
+        got = kernels.count_leading_failures(draws, probs)
+        assert got.tolist() == [2, 0, 4]
+
+
+class TestServiceTime:
+    def test_matches_pipeline_stage_sum(self):
+        timing = TimingSpec.tlc_table2()
+        senses = np.array([1, 2, 4, 8], dtype=np.int64)
+        retries = np.array([0, 1, 2, 7], dtype=np.int64)
+        lut = kernels.read_latency_lut(timing, 8)
+        got = kernels.read_service_us(
+            lut[senses], retries, timing.transfer_us, timing.ecc_decode_us
+        )
+        for i in range(len(senses)):
+            passes = 1 + int(retries[i])
+            expected = (
+                timing.read_us(int(senses[i])) * passes
+                + timing.transfer_us
+                + timing.ecc_decode_us * passes
+            )
+            assert got[i] == expected
+
+
+class TestRberCurve:
+    def test_matches_scalar_over_wear_grid(self):
+        model = RberModel()
+        pe = np.array([0, 100, 1500, 3000, 9000], dtype=np.int64)
+        days = 12.5
+        got = kernels.rber_curve(model, pe, days)
+        for i, cycles in enumerate(pe):
+            assert got[i] == model.rber(int(cycles), days)
+
+
+class TestAccelFallback:
+    def test_counter_falls_back_to_numpy_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+        assert not accel.accel_active()
+        assert accel.leading_failure_counter() is kernels.count_leading_failures
+
+    def test_jitted_counter_matches_numpy_when_available(self):
+        if not accel.numba_available():
+            pytest.skip("numba not installed in this environment")
+        rng = np.random.default_rng(5)
+        draws = rng.random((64, 7))
+        probs = rng.random(64)
+        jitted = accel.leading_failure_counter()
+        assert (
+            jitted(draws, probs) == kernels.count_leading_failures(draws, probs)
+        ).all()
+
+    def test_publish_accel_state_is_once_per_registry(self):
+        registry = MetricsRegistry()
+        accel.publish_accel_state(registry)
+        accel.publish_accel_state(registry)  # second call is a no-op
+        gauge = registry.gauge(
+            "sim_accel_numba_active",
+            "1 when batch-backend kernels run numba-jitted, 0 on numpy fallback",
+        )
+        assert gauge.unlabeled.value in (0.0, 1.0)
+
+    def test_publish_accel_state_tolerates_none(self):
+        accel.publish_accel_state(None)  # must not raise
