@@ -25,7 +25,14 @@ engine events/sec, batch-backend cohort ops/sec, scale, timestamp, git
 revision when available) to a JSON-array file — CI points it at
 ``benchmarks/BENCH_trajectory.json`` so the throughput history
 accumulates one point per run and regressions show up as a trend, not
-just a single-gate pass/fail.
+just a single-gate pass/fail.  Entries from different scales are
+*incomparable* (a tiny run does a fraction of a quick run's work), so
+the trend comparison only ever looks at the latest predecessor with the
+same ``scale`` — entries at other scales, or from other benchmarks
+sharing the file (``bench_parallel_sweep.py`` tags its entries with a
+different ``bench``), are skipped.  ``--check-trajectory`` turns the
+comparison into a gate: exit 1 when read-first ops/sec falls more than
+``--trajectory-threshold`` percent below the same-scale predecessor.
 
 ``--check-backends`` gates the batch execution backend: the vectorized
 cohort read-path math must beat the scalar-equivalent loop by >= 3x on
@@ -229,7 +236,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="max tolerated slowdown in percent (default: 5)")
     parser.add_argument("--append-trajectory", metavar="PATH", default=None,
                         help="append this run's ops/sec to a JSON-array "
-                             "history file (created if missing)")
+                             "history file (created if missing); trend "
+                             "comparison uses same-scale predecessors only")
+    parser.add_argument("--check-trajectory", action="store_true",
+                        help="fail when read-first ops/sec drops more than "
+                             "--trajectory-threshold percent below the "
+                             "latest same-scale trajectory entry")
+    parser.add_argument("--trajectory-threshold", type=float, default=50.0,
+                        help="max tolerated same-scale ops/sec drop in "
+                             "percent (default: 50 — generous, because "
+                             "trajectory points come from heterogeneous "
+                             "machines)")
     parser.add_argument("--check-backends", action="store_true",
                         help="fail unless the vectorized cohort math beats "
                              "the scalar loop by the backend gates "
@@ -237,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.check and not args.baseline:
         parser.error("--check requires --baseline")
+    if args.check_trajectory and not args.append_trajectory:
+        parser.error("--check-trajectory requires --append-trajectory")
 
     scale = getattr(RunScale, args.scale)()
     time_runs(scale, "read-first", 1)  # warm-up
@@ -285,11 +304,13 @@ def main(argv: list[str] | None = None) -> int:
         path.write_text(json.dumps(report, indent=1) + "\n")
         print(f"recorded -> {path}")
 
+    trajectory_failed = False
     if args.append_trajectory:
         path = Path(args.append_trajectory)
         entry = {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "git_rev": _git_rev(),
+            "bench": "pipeline",
             "scale": args.scale,
             "reps": args.reps,
             "ops_per_s": {
@@ -311,10 +332,46 @@ def main(argv: list[str] | None = None) -> int:
             if not isinstance(history, list):
                 print(f"warning: {path} is not a JSON array, starting fresh")
                 history = []
+        # Only a same-scale pipeline entry is a valid comparison point:
+        # other scales do a different amount of simulated work per run,
+        # and other benches (bench_parallel_sweep) record different
+        # metrics entirely.  Early entries predate the ``bench`` tag, so
+        # the ``ops_per_s`` key doubles as the pipeline discriminator.
+        predecessor = next(
+            (e for e in reversed(history)
+             if e.get("scale") == args.scale and "ops_per_s" in e
+             and e.get("bench", "pipeline") == "pipeline"),
+            None,
+        )
         history.append(entry)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(history, indent=1) + "\n")
         print(f"trajectory -> {path} ({len(history)} entries)")
+        if predecessor is None:
+            print(f"  no same-scale predecessor at scale={args.scale} — "
+                  f"nothing to compare")
+        else:
+            for policy, now in entry["ops_per_s"].items():
+                then = predecessor["ops_per_s"].get(policy)
+                if not then:
+                    continue
+                delta = (now / then - 1.0) * 100.0
+                print(f"  {policy:<11}: {now:,.0f} ops/s vs {then:,.0f} "
+                      f"at {predecessor.get('git_rev')} ({delta:+.1f}%)")
+                if policy == "read-first" and -delta > args.trajectory_threshold:
+                    trajectory_failed = True
+            then = predecessor.get("engine_events_per_s")
+            if then:
+                delta = (entry["engine_events_per_s"] / then - 1.0) * 100.0
+                print(f"  {'engine':<11}: "
+                      f"{entry['engine_events_per_s']:,.0f} events/s vs "
+                      f"{then:,.0f} at {predecessor.get('git_rev')} "
+                      f"({delta:+.1f}%)")
+        if args.check_trajectory and trajectory_failed:
+            print(f"FAIL: read-first ops/s dropped more than "
+                  f"{args.trajectory_threshold:.0f}% below the same-scale "
+                  f"trajectory predecessor")
+            return 1
 
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())

@@ -137,6 +137,20 @@ def _build_parser() -> argparse.ArgumentParser:
              "artifact from the surviving ones instead of aborting",
     )
     parser.add_argument(
+        "--snapshots",
+        action="store_true",
+        help="reuse warmed device state across sweep units that share a "
+             "warm-up (pure wall-clock knob; results are byte-identical)",
+    )
+    parser.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        default=None,
+        help="spill warm-state snapshots to DIR so they survive the "
+             "process and are reused across invocations (implies "
+             "--snapshots)",
+    )
+    parser.add_argument(
         "--json-out",
         metavar="PATH",
         default=None,
@@ -174,8 +188,13 @@ def _run_one(
     keep_going: bool = False,
     json_out: str | None = None,
     prom_out: str | None = None,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
 ) -> str:
     runner, formatter = ARTIFACTS[name]
+    snapshot_stats: dict | None = (
+        {} if (snapshots or snapshot_dir) else None
+    )
     started = time.time()
     result = runner(
         scale=scale,
@@ -183,6 +202,9 @@ def _run_one(
         jobs=jobs,
         progress=print if (jobs > 1 or keep_going) else None,
         keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     elapsed = time.time() - started
     if json_out:
@@ -205,7 +227,14 @@ def _run_one(
             )
         with open(prom_out, "w", encoding="utf-8") as handle:
             handle.write(exporter(result))
-    return f"{formatter(result)}\n[{name}: {elapsed:.1f}s]"
+    timing = f"[{name}: {elapsed:.1f}s]"
+    if snapshot_stats is not None:
+        timing += (
+            f" [snapshots: {snapshot_stats.get('hits', 0)} hit(s), "
+            f"{snapshot_stats.get('misses', 0)} miss(es), "
+            f"{snapshot_stats.get('fallbacks', 0)} fallback(s)]"
+        )
+    return f"{formatter(result)}\n{timing}"
 
 
 def _parse_system(name: str):
@@ -258,6 +287,15 @@ def _build_run_parser() -> argparse.ArgumentParser:
                         help="attach the device-health monitor (SMART-style "
                              "snapshots + metrics registry + default SLOs); "
                              "the manifest gains a 'health' key")
+    parser.add_argument("--snapshots", action="store_true",
+                        help="draw the run's warmed device state from the "
+                             "warm-state snapshot cache (pure wall-clock "
+                             "knob; results are byte-identical)")
+    parser.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                        help="spill/reuse warm-state snapshots in DIR across "
+                             "invocations (implies --snapshots); the "
+                             "manifest records hits and misses under "
+                             "'execution.snapshots'")
     return parser
 
 
@@ -306,6 +344,8 @@ def _cmd_run(argv: list[str]) -> int:
     collector = (
         IntervalCollector(args.interval_us) if args.interval_us else None
     )
+    use_snapshots = bool(args.snapshots or args.snapshot_dir)
+    snapshot_stats: dict | None = None
     started = time.time()
     if args.jobs == 1:
         health = None
@@ -313,12 +353,31 @@ def _cmd_run(argv: list[str]) -> int:
             from .obs import HealthMonitor, MetricsRegistry, SloEngine
 
             health = HealthMonitor(registry=MetricsRegistry(), slo=SloEngine())
+        warm = None
+        store = None
+        if use_snapshots:
+            from .experiments.runner import warm_cache_key
+            from .sim.snapshot import SnapshotStore, WarmHandle
+
+            store = SnapshotStore(spill_dir=args.snapshot_dir)
+            key = warm_cache_key(
+                system,
+                spec.scaled(scale.num_requests, scale.footprint_pages),
+                scale, args.seed, args.backend,
+            )
+            warm = WarmHandle(store=store, key=key)
         result = run_workload(
             system, spec, scale, seed=args.seed, tracer=tracer,
             collector=collector, faults=plan, health=health,
-            backend=args.backend,
+            backend=args.backend, warm=warm,
         )
         payload = result.to_payload()
+        if store is not None:
+            snapshot_stats = {
+                "hits": store.stats.hits,
+                "misses": store.stats.misses,
+                "fallbacks": store.stats.fallbacks,
+            }
     else:
         slo = None
         if args.health:
@@ -329,7 +388,13 @@ def _cmd_run(argv: list[str]) -> int:
             system, args.workload, scale, seed=args.seed, faults=plan,
             health=args.health, slo=slo, backend=args.backend,
         )
-        payload = SweepExecutor(jobs=args.jobs).map([unit])[0]
+        executor = SweepExecutor(
+            jobs=args.jobs, snapshots=args.snapshots,
+            snapshot_dir=args.snapshot_dir,
+        )
+        payload = executor.map([unit])[0]
+        if use_snapshots:
+            snapshot_stats = dict(executor.snapshot_stats)
     elapsed = time.time() - started
     if tracer is not None:
         tracer.close()
@@ -372,10 +437,14 @@ def _cmd_run(argv: list[str]) -> int:
     if collector is not None:
         print(f"  series: {len(collector.snapshots)} intervals of "
               f"{args.interval_us:.0f} us")
+    if snapshot_stats is not None:
+        print(f"  snaps : {snapshot_stats.get('hits', 0)} hit(s), "
+              f"{snapshot_stats.get('misses', 0)} miss(es), "
+              f"{snapshot_stats.get('fallbacks', 0)} fallback(s)")
     if args.report:
         manifest = manifest_for_payload(
             payload, collector=collector, trace_path=args.trace,
-            jobs=args.jobs, backend=args.backend,
+            jobs=args.jobs, backend=args.backend, snapshots=snapshot_stats,
         )
         path = write_run_manifest(manifest, args.report)
         print(f"  report: {path} (config {manifest['config_hash']})")
@@ -568,6 +637,8 @@ def main(argv: list[str] | None = None) -> int:
                 keep_going=args.keep_going,
                 json_out=args.json_out,
                 prom_out=args.prom,
+                snapshots=args.snapshots,
+                snapshot_dir=args.snapshot_dir,
             )
         )
         print()

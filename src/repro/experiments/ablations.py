@@ -55,6 +55,9 @@ def _run_paired_sweep(
     jobs: int,
     progress: ProgressFn | None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> AblationResult:
     """Fan out (setting, workload, baseline, variant, scale) cells.
 
@@ -68,7 +71,13 @@ def _run_paired_sweep(
         units.append(RunUnit(base_system, name, scale, seed=seed))
         units.append(RunUnit(variant_system, name, scale, seed=seed))
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     failed = failed_workloads(payloads)
     if failed and progress is not None:
@@ -94,6 +103,9 @@ def run_adjust_cost_ablation(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> AblationResult:
     """IDA benefit under proportional vs conservative adjustment cost."""
     scale = scale or RunScale.bench()
@@ -109,7 +121,15 @@ def run_adjust_cost_ablation(
         for name in _workloads(workload_names)
     ]
     return _run_paired_sweep(
-        "adjust_program_fraction", cells, seed, jobs, progress, keep_going
+        "adjust_program_fraction",
+        cells,
+        seed,
+        jobs,
+        progress,
+        keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
 
 
@@ -121,6 +141,9 @@ def run_refresh_frequency_ablation(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> AblationResult:
     """IDA benefit vs refresh cycles per trace (more cycles = fresher IDA)."""
     scale = scale or RunScale.bench()
@@ -136,7 +159,15 @@ def run_refresh_frequency_ablation(
         for name in _workloads(workload_names)
     ]
     return _run_paired_sweep(
-        "refresh_cycles", cells, seed, jobs, progress, keep_going
+        "refresh_cycles",
+        cells,
+        seed,
+        jobs,
+        progress,
+        keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
 
 
@@ -148,6 +179,9 @@ def run_allocation_ablation(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> AblationResult:
     """IDA benefit under different static allocation stripe orders."""
     scale = scale or RunScale.bench()
@@ -163,7 +197,15 @@ def run_allocation_ablation(
         for name in _workloads(workload_names)
     ]
     return _run_paired_sweep(
-        "allocation", cells, seed, jobs, progress, keep_going
+        "allocation",
+        cells,
+        seed,
+        jobs,
+        progress,
+        keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
 
 

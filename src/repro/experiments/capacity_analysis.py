@@ -85,6 +85,9 @@ def run_capacity_analysis(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> list[CapacityResult]:
     """Compare block census and GC cost, baseline vs IDA-E20."""
     scale = scale or RunScale.bench()
@@ -94,7 +97,13 @@ def run_capacity_analysis(
         for system in (baseline(), ida(0.2)):
             units.append(RunUnit(system, name, scale, seed=seed, mode="capacity"))
     censuses = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, censuses, _ = prune_failed(names, units, censuses, progress)
 

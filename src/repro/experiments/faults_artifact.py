@@ -136,6 +136,9 @@ def run_faults(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> FaultsResult:
     """Sweep the (workload x lifetime phase x fault density) grid."""
     scale = scale or RunScale.bench()
@@ -169,7 +172,13 @@ def run_faults(
             )
         )
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     failed = failed_workloads(payloads)
     if failed and progress is not None:

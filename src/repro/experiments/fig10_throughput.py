@@ -41,6 +41,9 @@ def run_fig10(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Fig10Result:
     """Closed-loop throughput comparison, baseline vs IDA-E{error_rate}."""
     scale = scale or RunScale.bench()
@@ -59,7 +62,13 @@ def run_fig10(
                 )
             )
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

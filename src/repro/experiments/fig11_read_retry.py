@@ -58,6 +58,9 @@ def run_fig11(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Fig11Result:
     """Compare IDA-E20 vs baseline in each lifetime phase."""
     scale = scale or RunScale.bench()
@@ -82,7 +85,13 @@ def run_fig11(
                 )
             )
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

@@ -73,6 +73,9 @@ def run_fig4(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Fig4Result:
     """Measure the read mix for the main and extra workload panels."""
     scale = scale or RunScale.bench()
@@ -85,7 +88,13 @@ def run_fig4(
         for name in main_names + extra_names
     ]
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     # Both panels draw from one flat unit list, so prune each panel's
     # name list against the combined failure set rather than re-slicing.

@@ -65,6 +65,9 @@ def run_fig8(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Fig8Result:
     """Run the Fig. 8 sweep; ``jobs`` fans the runs out over processes."""
     scale = scale or RunScale.bench()
@@ -76,7 +79,13 @@ def run_fig8(
             RunUnit(ida(rate), name, scale, seed=seed) for rate in error_rates
         )
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

@@ -44,6 +44,9 @@ def run_fig9(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Fig9Result:
     """Run the dtR sweep; baseline and IDA share each dtR setting."""
     scale = scale or RunScale.bench()
@@ -56,7 +59,13 @@ def run_fig9(
                 RunUnit(ida(error_rate).with_dtr(dtr), name, scale, seed=seed)
             )
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

@@ -137,6 +137,9 @@ def run_fig_breakdown(
     progress: ProgressFn | None = None,
     tolerance_us: float = 1e-6,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> BreakdownResult:
     """Run Baseline vs IDA with profiling and build the attribution table.
 
@@ -153,7 +156,13 @@ def run_fig_breakdown(
         for system in systems
     ]
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

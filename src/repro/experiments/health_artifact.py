@@ -141,6 +141,9 @@ def run_health(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> HealthArtifactResult:
     """Sweep (workload x {baseline, ida} x {healthy, faulted}) with health on."""
     scale = scale or RunScale.bench()
@@ -176,7 +179,13 @@ def run_health(
             )
 
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     failed = failed_workloads(payloads)
     if failed and progress is not None:

@@ -45,6 +45,7 @@ fail the same way again.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import multiprocessing
 from concurrent.futures.process import BrokenProcessPool
 import pickle
@@ -61,15 +62,24 @@ from ..obs.profiler import SimProfiler
 from ..obs.slo import SloEngine, SloObjective
 from ..obs.tracer import Tracer
 from ..sim.backends import ENGINE_BACKENDS
+from ..sim.snapshot import (
+    SharedSnapshotRef,
+    SnapshotStore,
+    WarmHandle,
+    attach_warm_state,
+    publish_warm_state,
+)
 from ..workloads.msr import workload as _catalog_workload
 from ..workloads.synthetic import WorkloadSpec
 from .config import RunScale
 from .runner import (
     CapacityCensus,
     RunResultPayload,
+    prepare_warm_state,
     run_capacity_phase_pair,
     run_workload,
     run_workload_closed_loop,
+    warm_cache_key,
 )
 from .systems import SystemSpec
 
@@ -81,7 +91,15 @@ __all__ = [
     "execute_units",
     "failed_workloads",
     "prune_failed",
+    "warm_key_for_unit",
 ]
+
+_log = logging.getLogger(__name__)
+
+#: Resident warm states the executor's in-process store keeps.  Artifact
+#: sweeps iterate workload-major, so a small window covers the reuse
+#: pattern without pinning every distinct state of a long sweep in RAM.
+_SNAPSHOT_LRU_CAPACITY = 8
 
 #: Log-style progress callback: called once per completed unit.
 ProgressFn = Callable[[str], None]
@@ -199,10 +217,28 @@ class SweepError(RuntimeError):
         self.details = details
 
 
+def warm_key_for_unit(unit: RunUnit) -> str:
+    """The unit's warm-state cache key (see :func:`~.runner.warm_cache_key`).
+
+    Units that differ only in swept parameters the warm-up cannot observe
+    (refresh mode, error rate, DTR, retry model, policy, queue depth,
+    mode, fault plan, observability) map to the same key and share one
+    snapshot — the grouping :class:`SweepExecutor` fans shared-memory
+    segments out by.
+    """
+    spec = unit.resolve_workload().scaled(
+        unit.scale.num_requests, unit.scale.footprint_pages
+    )
+    return warm_cache_key(
+        unit.system, spec, unit.scale, unit.seed, unit.backend
+    )
+
+
 def execute_unit(
     unit: RunUnit,
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
+    warm: WarmHandle | None = None,
 ) -> RunResultPayload | CapacityCensus:
     """Run one unit in the current process (worker body and inline path)."""
     spec = unit.resolve_workload()
@@ -222,6 +258,7 @@ def execute_unit(
             faults=unit.faults,
             health=health,
             backend=unit.backend,
+            warm=warm,
         ).to_payload()
     if unit.mode == "closed":
         return run_workload_closed_loop(
@@ -236,9 +273,15 @@ def execute_unit(
             faults=unit.faults,
             health=health,
             backend=unit.backend,
+            warm=warm,
         ).to_payload()
     return run_capacity_phase_pair(
-        unit.system, spec, unit.scale, seed=unit.seed, faults=unit.faults
+        unit.system,
+        spec,
+        unit.scale,
+        seed=unit.seed,
+        faults=unit.faults,
+        warm=warm,
     )
 
 
@@ -250,9 +293,43 @@ class _WorkerFailure:
         self.details = details
 
 
-def _pool_worker(unit: RunUnit):
+class _WarmOutcome:
+    """A pool result plus what the worker did with its warm state.
+
+    ``status`` is a ``snapshot_stats`` key: ``"hits"`` (restored from
+    shared memory), or ``"fallbacks"`` (the segment was unusable and the
+    unit preloaded cold — degraded wall-clock, identical results).
+    """
+
+    def __init__(self, payload, status: str):
+        self.payload = payload
+        self.status = status
+
+
+def _pool_worker(unit: RunUnit, shm_ref: SharedSnapshotRef | None = None):
     try:
-        return execute_unit(unit)
+        warm = None
+        status = None
+        if shm_ref is not None:
+            # Any attach problem (parent died and the segment is gone, a
+            # checksum or schema mismatch) degrades to a cold preload —
+            # a snapshot must never turn into a failed unit.
+            try:
+                warm = WarmHandle(state=attach_warm_state(shm_ref))
+                status = "hits"
+            except Exception as exc:
+                status = "fallbacks"
+                _log.warning(
+                    "unit %s could not attach warm state %s (%s); "
+                    "preloading cold",
+                    unit.describe(),
+                    shm_ref.name,
+                    exc,
+                )
+        result = execute_unit(unit, warm=warm)
+        if status is not None:
+            return _WarmOutcome(result, status)
+        return result
     except Exception as exc:
         details = traceback.format_exc()
         try:
@@ -260,6 +337,19 @@ def _pool_worker(unit: RunUnit):
         except Exception:
             exc = RuntimeError(f"unpicklable worker exception: {exc!r}")
         return _WorkerFailure(exc, details)
+
+
+def _release_segments(segments) -> None:
+    """Close and unlink parent-owned shared-memory segments (idempotent)."""
+    for shm in segments:
+        try:
+            shm.close()
+        except OSError:
+            pass
+        try:
+            shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
 
 
 class SweepExecutor:
@@ -288,6 +378,22 @@ class SweepExecutor:
         keep_going: Instead of raising on the first failure, leave a
             :class:`SweepError` in the failed unit's result slot and
             finish the rest of the sweep.
+        snapshots: Reuse warmed device state across units that share a
+            warm key (see :func:`warm_key_for_unit`).  Inline, units
+            draw from one in-process :class:`SnapshotStore`; pooled, the
+            executor groups units by key, warms each group's state once
+            in the parent, and fans it out through shared memory.  A
+            pure wall-clock knob: results are byte-identical either way
+            (pinned by ``tests/experiments/test_snapshot_parity.py``).
+        snapshot_dir: Spill directory for warm states (implies
+            ``snapshots``); snapshots then survive the process and are
+            shared across invocations.
+
+    After :meth:`map` returns, ``snapshot_stats`` holds the sweep's
+    cache accounting: ``hits`` (units restored from a snapshot),
+    ``misses`` (cold preloads, including the one per pooled group the
+    parent performs) and ``fallbacks`` (corrupt/stale snapshots that
+    degraded to a cold preload).
     """
 
     def __init__(
@@ -299,6 +405,8 @@ class SweepExecutor:
         max_retries: int = 0,
         backoff_s: float = 0.5,
         keep_going: bool = False,
+        snapshots: bool = False,
+        snapshot_dir: str | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -315,6 +423,9 @@ class SweepExecutor:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.keep_going = keep_going
+        self.snapshot_dir = snapshot_dir
+        self.snapshots = bool(snapshots or snapshot_dir)
+        self.snapshot_stats = {"hits": 0, "misses": 0, "fallbacks": 0}
 
     def map(
         self,
@@ -328,6 +439,7 @@ class SweepExecutor:
                 raise TypeError(f"expected RunUnit, got {type(unit).__name__}")
         if not units:
             return []
+        self.snapshot_stats = {"hits": 0, "misses": 0, "fallbacks": 0}
         if self.jobs == 1:
             return self._map_inline(units, tracer_factory, collector_factory)
         if tracer_factory is not None or collector_factory is not None:
@@ -345,15 +457,25 @@ class SweepExecutor:
         self.progress(f"[{done}/{total}] {unit.describe()}{timing}")
 
     def _map_inline(self, units, tracer_factory, collector_factory):
+        store = None
+        if self.snapshots:
+            store = SnapshotStore(
+                capacity=_SNAPSHOT_LRU_CAPACITY, spill_dir=self.snapshot_dir
+            )
         results = []
         total = len(units)
         for index, unit in enumerate(units):
             tracer = tracer_factory(unit) if tracer_factory else None
             collector = collector_factory(unit) if collector_factory else None
+            warm = None
+            if store is not None:
+                warm = WarmHandle(store=store, key=warm_key_for_unit(unit))
             started = time.perf_counter()
             try:
                 results.append(
-                    execute_unit(unit, tracer=tracer, collector=collector)
+                    execute_unit(
+                        unit, tracer=tracer, collector=collector, warm=warm
+                    )
                 )
             except Exception as exc:
                 error = SweepError(unit, str(exc), traceback.format_exc())
@@ -361,8 +483,65 @@ class SweepExecutor:
                     raise error from exc
                 error.__cause__ = exc
                 results.append(error)
+            else:
+                if warm is not None and warm.outcome is not None:
+                    key = "hits" if warm.outcome == "hit" else "misses"
+                    self.snapshot_stats[key] += 1
             self._emit(index + 1, total, unit, time.perf_counter() - started)
+        if store is not None:
+            self.snapshot_stats["fallbacks"] += store.stats.fallbacks
         return results
+
+    def _publish_group_snapshots(self, units):
+        """Warm one state per shared key and publish it to shared memory.
+
+        Units are grouped by warm key; every group of two or more (and,
+        when a spill directory is configured, singletons too — their
+        state may already be on disk, or will pay off next invocation)
+        gets one parent-side warm state: pulled from the store when
+        cached, otherwise preloaded cold exactly once.  Each state is
+        serialized into a single ``multiprocessing.shared_memory``
+        segment that every worker of the group attaches.
+
+        Returns:
+            ``(refs, segments)`` — per-unit-index
+            :class:`SharedSnapshotRef` pointers, and the parent-owned
+            segments the caller must close + unlink when the fan-out
+            (including retry rounds) is over.
+        """
+        groups: dict[str, list[int]] = {}
+        for index, unit in enumerate(units):
+            groups.setdefault(warm_key_for_unit(unit), []).append(index)
+        store = SnapshotStore(
+            capacity=_SNAPSHOT_LRU_CAPACITY, spill_dir=self.snapshot_dir
+        )
+        refs: dict[int, SharedSnapshotRef] = {}
+        segments = []
+        try:
+            for key, members in groups.items():
+                if len(members) < 2 and self.snapshot_dir is None:
+                    continue  # nothing shares it; the worker preloads cold
+                unit = units[members[0]]
+                warm = store.get(key)
+                if warm is None:
+                    warm = prepare_warm_state(
+                        unit.system,
+                        unit.resolve_workload(),
+                        unit.scale,
+                        seed=unit.seed,
+                        backend=unit.backend,
+                    )
+                    store.put(key, warm)
+                    self.snapshot_stats["misses"] += 1
+                ref, shm = publish_warm_state(warm)
+                segments.append(shm)
+                for index in members:
+                    refs[index] = ref
+        except BaseException:
+            _release_segments(segments)
+            raise
+        self.snapshot_stats["fallbacks"] += store.stats.fallbacks
+        return refs, segments
 
     def _map_pool(self, units):
         """Round-based pool execution with crash/timeout containment.
@@ -374,6 +553,12 @@ class SweepExecutor:
         the pool is killed, and the next round re-runs the remainder.
         Unit determinism (each worker rebuilds its simulator from the
         unit description alone) is what makes re-running units safe.
+
+        With snapshots enabled, units sharing a warm key restore from
+        one parent-published shared-memory segment instead of each
+        repeating the preload (see :meth:`_publish_group_snapshots`).
+        Segments outlive retry rounds — a re-run unit re-attaches the
+        same state — and are released in a ``finally``.
         """
         context = self._mp_context or multiprocessing.get_context()
         total = len(units)
@@ -381,9 +566,19 @@ class SweepExecutor:
         done = [False] * total
         attempts = [0] * total
         completed = 0
+        refs: dict[int, SharedSnapshotRef] = {}
+        segments: list = []
+        if self.snapshots:
+            refs, segments = self._publish_group_snapshots(units)
 
         def settle(index: int, outcome) -> None:
             nonlocal completed
+            if isinstance(outcome, _WarmOutcome):
+                self.snapshot_stats[outcome.status] += 1
+                outcome = outcome.payload
+            elif self.snapshots and not isinstance(outcome, _WorkerFailure):
+                # No segment was fanned out for this unit: cold preload.
+                self.snapshot_stats["misses"] += 1
             if isinstance(outcome, _WorkerFailure):
                 # Deterministic unit exception: never retried.
                 error = SweepError(
@@ -399,69 +594,77 @@ class SweepExecutor:
             completed += 1
             self._emit(completed, total, units[index])
 
-        while completed < total:
-            pending = [i for i in range(total) if not done[i]]
-            executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)), mp_context=context
-            )
-            crashed: tuple[int, str] | None = None
-            try:
-                futures = {
-                    i: executor.submit(_pool_worker, units[i]) for i in pending
-                }
-                for i in pending:
-                    try:
-                        outcome = futures[i].result(timeout=self.timeout_s)
-                    except concurrent.futures.TimeoutError:
-                        crashed = (i, f"timed out after {self.timeout_s:g}s")
-                        break
-                    except BrokenProcessPool:
-                        crashed = (i, "worker process crashed (pool broken)")
-                        break
-                    settle(i, outcome)
-                if crashed is not None:
-                    # Salvage units that finished before the break: their
-                    # futures already hold results and cost nothing.
-                    for j in pending:
-                        if done[j] or j == crashed[0]:
-                            continue
-                        future = futures[j]
-                        if not future.done() or future.cancelled():
-                            continue
-                        try:
-                            outcome = future.result(timeout=0)
-                        except Exception:
-                            continue
-                        if isinstance(outcome, _WorkerFailure):
-                            continue  # deterministic; re-settles next round
-                        settle(j, outcome)
-            finally:
-                if crashed is not None:
-                    # A hung or crashed worker would make a graceful
-                    # shutdown block; cancel what is queued and terminate
-                    # whatever processes remain.
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    procs = getattr(executor, "_processes", None) or {}
-                    for proc in list(procs.values()):
-                        proc.terminate()
-                else:
-                    executor.shutdown(wait=True, cancel_futures=True)
-            if crashed is None:
-                continue
-            index, reason = crashed
-            attempts[index] += 1
-            if attempts[index] > self.max_retries:
-                error = SweepError(
-                    units[index], reason, f"gave up after {attempts[index]} attempt(s)"
+        try:
+            while completed < total:
+                pending = [i for i in range(total) if not done[i]]
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending)), mp_context=context
                 )
-                if not self.keep_going:
-                    raise error
-                results[index] = error
-                done[index] = True
-                completed += 1
-                self._emit(completed, total, units[index])
-            elif self.backoff_s > 0:
-                time.sleep(self.backoff_s * (2 ** (attempts[index] - 1)))
+                crashed: tuple[int, str] | None = None
+                try:
+                    futures = {
+                        i: executor.submit(_pool_worker, units[i], refs.get(i))
+                        for i in pending
+                    }
+                    for i in pending:
+                        try:
+                            outcome = futures[i].result(timeout=self.timeout_s)
+                        except concurrent.futures.TimeoutError:
+                            crashed = (
+                                i, f"timed out after {self.timeout_s:g}s"
+                            )
+                            break
+                        except BrokenProcessPool:
+                            crashed = (i, "worker process crashed (pool broken)")
+                            break
+                        settle(i, outcome)
+                    if crashed is not None:
+                        # Salvage units that finished before the break: their
+                        # futures already hold results and cost nothing.
+                        for j in pending:
+                            if done[j] or j == crashed[0]:
+                                continue
+                            future = futures[j]
+                            if not future.done() or future.cancelled():
+                                continue
+                            try:
+                                outcome = future.result(timeout=0)
+                            except Exception:
+                                continue
+                            if isinstance(outcome, _WorkerFailure):
+                                continue  # deterministic; re-settles next round
+                            settle(j, outcome)
+                finally:
+                    if crashed is not None:
+                        # A hung or crashed worker would make a graceful
+                        # shutdown block; cancel what is queued and terminate
+                        # whatever processes remain.
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        procs = getattr(executor, "_processes", None) or {}
+                        for proc in list(procs.values()):
+                            proc.terminate()
+                    else:
+                        executor.shutdown(wait=True, cancel_futures=True)
+                if crashed is None:
+                    continue
+                index, reason = crashed
+                attempts[index] += 1
+                if attempts[index] > self.max_retries:
+                    error = SweepError(
+                        units[index],
+                        reason,
+                        f"gave up after {attempts[index]} attempt(s)",
+                    )
+                    if not self.keep_going:
+                        raise error
+                    results[index] = error
+                    done[index] = True
+                    completed += 1
+                    self._emit(completed, total, units[index])
+                elif self.backoff_s > 0:
+                    time.sleep(self.backoff_s * (2 ** (attempts[index] - 1)))
+        finally:
+            _release_segments(segments)
         return results
 
 
@@ -473,16 +676,30 @@ def execute_units(
     max_retries: int = 0,
     backoff_s: float = 0.5,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> list[RunResultPayload | CapacityCensus | SweepError]:
-    """One-shot convenience wrapper around :class:`SweepExecutor`."""
-    return SweepExecutor(
+    """One-shot convenience wrapper around :class:`SweepExecutor`.
+
+    Pass a dict as ``snapshot_stats`` to receive the sweep's warm-state
+    cache accounting (``hits`` / ``misses`` / ``fallbacks``) — artifact
+    runners forward it into the manifest's ``execution`` block.
+    """
+    executor = SweepExecutor(
         jobs=jobs,
         progress=progress,
         timeout_s=timeout_s,
         max_retries=max_retries,
         backoff_s=backoff_s,
         keep_going=keep_going,
-    ).map(units)
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+    )
+    results = executor.map(units)
+    if snapshot_stats is not None:
+        snapshot_stats.update(executor.snapshot_stats)
+    return results
 
 
 def failed_workloads(outcomes: Sequence) -> set[str]:

@@ -42,6 +42,9 @@ def run_qlc_extension(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> QlcResult:
     """Compare IDA benefit across cell densities / codings."""
     scale = scale or RunScale.bench()
@@ -52,7 +55,13 @@ def run_qlc_extension(
         units.append(RunUnit(baseline(dev), name, scale, seed=seed))
         units.append(RunUnit(ida(error_rate, dev), name, scale, seed=seed))
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     # A failure prunes the workload across every device family so the
     # cross-family comparison always covers one consistent workload set.

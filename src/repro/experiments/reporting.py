@@ -232,7 +232,8 @@ def _assemble_manifest(
 
 
 def _run_extras(refresh: dict, in_use_blocks: int, ida_blocks: int,
-                jobs: int | None, backend: str | None = None) -> dict:
+                jobs: int | None, backend: str | None = None,
+                snapshots: dict | None = None) -> dict:
     extra = {
         "refresh": {
             "blocks_refreshed": refresh["blocks_refreshed"],
@@ -241,11 +242,12 @@ def _run_extras(refresh: dict, in_use_blocks: int, ida_blocks: int,
         },
         "blocks": {"in_use": in_use_blocks, "ida": ida_blocks},
     }
-    if jobs is not None or backend is not None:
+    if jobs is not None or backend is not None or snapshots is not None:
         # Recorded outside ``config`` on purpose: the executor's fan-out
-        # width and the execution backend must not perturb the config
-        # hash (results are required to be identical at any job count
-        # and on any backend).
+        # width, the execution backend, and the warm-state snapshot
+        # cache must not perturb the config hash (results are required
+        # to be identical at any job count, on any backend, and with or
+        # without snapshot reuse).
         execution: dict = {}
         if jobs is not None:
             execution["jobs"] = jobs
@@ -254,6 +256,8 @@ def _run_extras(refresh: dict, in_use_blocks: int, ida_blocks: int,
 
             execution["backend"] = backend
             execution["numba_active"] = accel_active()
+        if snapshots is not None:
+            execution["snapshots"] = dict(snapshots)
         extra["execution"] = execution
     return extra
 
@@ -265,6 +269,7 @@ def manifest_for_run(
     trace_path: str | Path | None = None,
     jobs: int | None = None,
     backend: str | None = None,
+    snapshots: dict | None = None,
 ) -> dict:
     """Manifest for one :class:`~repro.experiments.runner.RunResult`."""
     config = {
@@ -294,7 +299,8 @@ def manifest_for_run(
         faults=result.faults,
         health=result.health,
         extra=_run_extras(
-            refresh, result.in_use_blocks, result.ida_blocks, jobs, backend
+            refresh, result.in_use_blocks, result.ida_blocks, jobs, backend,
+            snapshots,
         ),
     )
 
@@ -306,6 +312,7 @@ def manifest_for_payload(
     trace_path: str | Path | None = None,
     jobs: int | None = None,
     backend: str | None = None,
+    snapshots: dict | None = None,
 ) -> dict:
     """Manifest for one pool-transported run payload.
 
@@ -334,7 +341,7 @@ def manifest_for_payload(
         health=payload.health,
         extra=_run_extras(
             payload.refresh, payload.in_use_blocks, payload.ida_blocks, jobs,
-            backend,
+            backend, snapshots,
         ),
     )
 

@@ -25,6 +25,12 @@ from ..obs.profiler import SimProfiler
 from ..obs.tracer import Tracer
 from ..sim.metrics import ReadMixCounters, SimMetrics
 from ..sim.scheduler import HostRequest
+from ..sim.snapshot import (
+    WarmHandle,
+    WarmState,
+    capture_warm_state,
+    restore_warm_state,
+)
 from ..sim.ssd import SsdSimulator
 from ..workloads.synthetic import (
     GeneratedWorkload,
@@ -42,6 +48,9 @@ __all__ = [
     "run_workload",
     "run_capacity_phase_pair",
     "normalized_read_response",
+    "warm_device",
+    "warm_cache_key",
+    "prepare_warm_state",
 ]
 
 
@@ -283,6 +292,112 @@ def _health_collector(
     return IntervalCollector(interval_us=spec.duration_us / 16)
 
 
+def warm_device(
+    sim: SsdSimulator,
+    generated: GeneratedWorkload,
+    warm: WarmHandle | None = None,
+) -> None:
+    """Warm up one simulator: footprint fill, then the aging updates.
+
+    The single warm-up entry point for every run mode, and the snapshot
+    layer's only seam.  The cold path spreads fill ages over
+    ``[-1.4P, -0.4P)`` — the oldest 40% of blocks are already refresh-due
+    when the trace starts, so the measured window sees the steady state
+    (as the paper's multi-day replays do) rather than an all-conventional
+    cold start — then applies the aging updates that create the invalid
+    lower pages IDA exploits.
+
+    With a :class:`~repro.sim.snapshot.WarmHandle`, a cached
+    :class:`~repro.sim.snapshot.WarmState` replaces the whole ritual
+    (restore is a buffer copy, byte-identical by the snapshot-parity
+    suite), and a cold warm-up's result is captured and offered back to
+    the cache.  Traced runs always warm up cold: warm-up GC can emit
+    trace events, and a restored run must not silently drop them.
+    """
+    use_snapshots = warm is not None and not sim.tracer.enabled
+    if use_snapshots:
+        state = warm.fetch()
+        if state is not None:
+            restore_warm_state(sim, state)
+            return
+    period_us = sim.ftl.refresh_policy.period_us
+    sim.preload(
+        generated.fill_lpns, start_us=-1.4 * period_us, end_us=-0.4 * period_us
+    )
+    sim.age(generated.aging_lpns, pseudo_now_us=-0.35 * period_us)
+    if use_snapshots:
+        warm.publish(capture_warm_state(sim))
+
+
+#: Version of the warm-key derivation below.  Bump when the set of
+#: fields the warm-up can observe changes, so stale spill directories
+#: miss instead of restoring a subtly different state.
+_WARM_KEY_SCHEMA = 1
+
+
+def warm_cache_key(
+    system: SystemSpec,
+    spec: WorkloadSpec,
+    scale: RunScale,
+    seed: int,
+    backend: str | None,
+) -> str:
+    """Content-address of the warmed state a run starts from.
+
+    Hashes exactly the inputs the warm-up can observe: the device family
+    and allocation strategy (they shape geometry and fill placement), the
+    *scaled* workload spec (fill/aging LPN streams and the duration that
+    sets preload timestamps), the seed, the full run scale (topology, GC
+    watermarks, and ``refresh_cycles``, which fixes the preload time
+    spread), and the execution backend.  Every other system field —
+    refresh mode, error rate, DTR threshold, retry model, scheduling
+    policy, adjust-program fraction — is deliberately *excluded*: the
+    warm-up never reads them, which is precisely what lets a fig8 system
+    fan or a fig9 DTR sweep share one snapshot per workload.
+
+    Args:
+        spec: The **scaled** workload spec (after ``spec.scaled(...)``).
+    """
+    import hashlib
+    import json
+
+    from .reporting import jsonable
+
+    material = {
+        "schema": _WARM_KEY_SCHEMA,
+        "device": system.device,
+        "allocation": system.allocation,
+        "workload": jsonable(spec),
+        "scale": jsonable(scale),
+        "seed": seed,
+        "backend": backend or "reference",
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def prepare_warm_state(
+    system: SystemSpec,
+    spec: WorkloadSpec,
+    scale: RunScale | None = None,
+    seed: int = 11,
+    backend: str | None = None,
+) -> WarmState:
+    """Run the warm-up on a bare simulator and capture the result.
+
+    The sweep executor's miss path: one cold preload in the parent seeds
+    the snapshot every pooled unit of the group restores from.
+    """
+    scale = scale or RunScale()
+    spec = spec.scaled(scale.num_requests, scale.footprint_pages)
+    generated = generate_workload(spec)
+    sim = build_simulator(
+        system, scale, spec.duration_us, seed=seed, backend=backend
+    )
+    warm_device(sim, generated)
+    return capture_warm_state(sim)
+
+
 def _to_host_requests(
     generated: GeneratedWorkload, page_size_bytes: int
 ) -> list[HostRequest]:
@@ -311,12 +426,15 @@ def run_workload(
     faults: FaultPlan | None = None,
     health: HealthMonitor | None = None,
     backend: str | None = None,
+    warm: WarmHandle | None = None,
 ) -> RunResult:
     """Execute one (system, workload) pair end to end.
 
     ``backend`` selects the execution backend by registry name (see
     :mod:`repro.sim.backends`); results are byte-identical across
-    backends, only wall-clock changes.
+    backends, only wall-clock changes.  ``warm`` connects the run to the
+    warm-state snapshot cache (see :func:`warm_device`) — another pure
+    wall-clock knob, byte-identical by the snapshot-parity suite.
     """
     scale = scale or RunScale()
     spec = spec.scaled(scale.num_requests, scale.footprint_pages)
@@ -337,13 +455,7 @@ def run_workload(
     )
     page_size = sim.geometry.page_size_bytes
 
-    period_us = sim.ftl.refresh_policy.period_us
-    # Spread fill ages over [-1.4P, -0.4P]: the oldest 40% of blocks are
-    # already refresh-due when the trace starts, so the measured window
-    # sees the steady state (as the paper's multi-day replays do) rather
-    # than an all-conventional cold start.
-    sim.preload(generated.fill_lpns, start_us=-1.4 * period_us, end_us=-0.4 * period_us)
-    sim.age(generated.aging_lpns, pseudo_now_us=-0.35 * period_us)
+    warm_device(sim, generated, warm=warm)
 
     # Background update stream: sustain the trace's update rate between
     # refresh cycles so invalid-lower-page exposure stays at the Table III
@@ -395,6 +507,7 @@ def run_workload_closed_loop(
     faults: FaultPlan | None = None,
     health: HealthMonitor | None = None,
     backend: str | None = None,
+    warm: WarmHandle | None = None,
 ) -> RunResult:
     """Closed-loop variant of :func:`run_workload` (Fig. 10 throughput).
 
@@ -420,9 +533,7 @@ def run_workload_closed_loop(
     )
     page_size = sim.geometry.page_size_bytes
 
-    period_us = sim.ftl.refresh_policy.period_us
-    sim.preload(generated.fill_lpns, start_us=-1.4 * period_us, end_us=-0.4 * period_us)
-    sim.age(generated.aging_lpns, pseudo_now_us=-0.35 * period_us)
+    warm_device(sim, generated, warm=warm)
 
     metrics = sim.run_closed_loop(
         _to_host_requests(generated, page_size), queue_depth=queue_depth
@@ -450,6 +561,7 @@ def run_capacity_phase_pair(
     scale: RunScale | None = None,
     seed: int = 11,
     faults: FaultPlan | None = None,
+    warm: WarmHandle | None = None,
 ) -> CapacityCensus:
     """Read-intensive phase followed by a write-intensive phase.
 
@@ -463,9 +575,7 @@ def run_capacity_phase_pair(
     generated = generate_workload(spec)
     sim = build_simulator(system, scale, spec.duration_us, seed=seed, faults=faults)
     page_size = sim.geometry.page_size_bytes
-    period = sim.ftl.refresh_policy.period_us
-    sim.preload(generated.fill_lpns, -1.4 * period, -0.4 * period)
-    sim.age(generated.aging_lpns, -0.35 * period)
+    warm_device(sim, generated, warm=warm)
     sim.run_requests(_to_host_requests(generated, page_size))
 
     followup = sample_update_lpns(spec, scale.footprint_pages, seed_offset=9)

@@ -43,13 +43,22 @@ def run_table3(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Table3Result:
     """Measure the Table III columns for the synthetic clones."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
     units = [RunUnit(baseline(), name, scale, seed=seed) for name in names]
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

@@ -45,13 +45,22 @@ def run_table4(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Table4Result:
     """Measure per-block refresh overheads under IDA-E{error_rate}."""
     scale = scale or RunScale.bench()
     names = workload_names or list(TABLE3_WORKLOADS)
     units = [RunUnit(ida(error_rate), name, scale, seed=seed) for name in names]
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

@@ -42,6 +42,9 @@ def run_table5(
     jobs: int = 1,
     progress: ProgressFn | None = None,
     keep_going: bool = False,
+    snapshots: bool = False,
+    snapshot_dir: str | None = None,
+    snapshot_stats: dict | None = None,
 ) -> Table5Result:
     """Measure IDA-E{error_rate} improvements on the given device family."""
     scale = scale or RunScale.bench()
@@ -51,7 +54,13 @@ def run_table5(
         units.append(RunUnit(baseline(device), name, scale, seed=seed))
         units.append(RunUnit(ida(error_rate, device), name, scale, seed=seed))
     payloads = execute_units(
-        units, jobs=jobs, progress=progress, keep_going=keep_going
+        units,
+        jobs=jobs,
+        progress=progress,
+        keep_going=keep_going,
+        snapshots=snapshots,
+        snapshot_dir=snapshot_dir,
+        snapshot_stats=snapshot_stats,
     )
     names, units, payloads, _ = prune_failed(names, units, payloads, progress)
 

@@ -60,6 +60,7 @@ import numpy as np
 
 __all__ = [
     "DeviceState",
+    "DeviceStateSnapshot",
     "FLAG_IS_IDA",
     "FLAG_LOCKED",
     "FLAG_RETIRED",
@@ -77,6 +78,64 @@ _CONVENTIONAL_WL = 0xFF
 _PAGE_FREE = 0
 _PAGE_VALID = 1
 _PAGE_INVALID = 2
+
+#: Column name -> bytes-per-element, fixing the snapshot wire layout.
+_COLUMN_WIDTHS = {
+    "page_state": 1,
+    "wl_mode": 1,
+    "wl_read_count": 8,
+    "next_page": 8,
+    "valid_count": 8,
+    "erase_count": 8,
+    "programmed_at_us": 8,
+    "flags": 1,
+}
+
+
+class DeviceStateSnapshot:
+    """Frozen byte-level copy of every :class:`DeviceState` column.
+
+    Geometry plus one immutable ``bytes`` blob per column — nothing else.
+    Snapshots are picklable by construction (the warm-state cache and the
+    shared-memory sweep transport both lean on that) and carry no live
+    views, so holding one costs exactly :meth:`nbytes` and can never
+    alias a running device.
+    """
+
+    __slots__ = ("num_blocks", "pages_per_block", "bits_per_cell", "columns")
+
+    def __init__(
+        self,
+        num_blocks: int,
+        pages_per_block: int,
+        bits_per_cell: int,
+        columns: dict[str, bytes],
+    ) -> None:
+        self.num_blocks = num_blocks
+        self.pages_per_block = pages_per_block
+        self.bits_per_cell = bits_per_cell
+        self.columns = columns
+
+    def nbytes(self) -> int:
+        """Total payload size (the snapshot-cache accounting input)."""
+        return sum(len(blob) for blob in self.columns.values())
+
+    # __slots__ classes need explicit state plumbing for pickle.
+    def __getstate__(self):
+        return (
+            self.num_blocks,
+            self.pages_per_block,
+            self.bits_per_cell,
+            self.columns,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.num_blocks,
+            self.pages_per_block,
+            self.bits_per_cell,
+            self.columns,
+        ) = state
 
 
 class DeviceState:
@@ -160,6 +219,105 @@ class DeviceState:
 
         self._zero_pages = bytes(pages_per_block)
         self._conv_wordlines = bytes([_CONVENTIONAL_WL]) * self.wordlines_per_block
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the warm-state cache's device half)
+    # ------------------------------------------------------------------
+    def _column_length(self, name: str) -> int:
+        """Expected byte length of one snapshot column for this geometry."""
+        per = {
+            "page_state": self.num_pages,
+            "wl_mode": self.num_wordlines,
+            "wl_read_count": self.num_wordlines,
+            "next_page": self.num_blocks,
+            "valid_count": self.num_blocks,
+            "erase_count": self.num_blocks,
+            "programmed_at_us": self.num_blocks,
+            "flags": self.num_blocks,
+        }[name]
+        return per * _COLUMN_WIDTHS[name]
+
+    def snapshot(self) -> DeviceStateSnapshot:
+        """Copy every column into an immutable :class:`DeviceStateSnapshot`.
+
+        One flat memcpy per column — no per-block object traversal — so a
+        snapshot costs ~:meth:`memory_bytes` of copying regardless of how
+        much metadata churn produced the state.
+        """
+        columns = {
+            "page_state": bytes(self.page_state),
+            "wl_mode": bytes(self.wl_mode),
+            "wl_read_count": self.wl_read_count.tobytes(),
+            "next_page": self.next_page.tobytes(),
+            "valid_count": self.valid_count.tobytes(),
+            "erase_count": self.erase_count.tobytes(),
+            "programmed_at_us": self.programmed_at_us.tobytes(),
+            "flags": bytes(self.flags),
+        }
+        return DeviceStateSnapshot(
+            self.num_blocks, self.pages_per_block, self.bits_per_cell, columns
+        )
+
+    def restore(self, snapshot: DeviceStateSnapshot) -> None:
+        """Overwrite every column in place from ``snapshot``.
+
+        The existing buffers are reused (their length never changes), so
+        :class:`~repro.flash.block.Block` views cached against them stay
+        coherent; the ``*_np`` numpy views are then rebound so vector
+        consumers holding ``state.page_state_np`` etc. via the attribute
+        also see the restored bytes.  Everything is validated *before*
+        the first byte is written — a malformed snapshot leaves the state
+        untouched (the cold-preload fallback depends on that).
+
+        Raises:
+            ValueError: on geometry mismatch, a missing column, or a
+                column whose byte length disagrees with this geometry.
+        """
+        mine = (self.num_blocks, self.pages_per_block, self.bits_per_cell)
+        theirs = (
+            snapshot.num_blocks,
+            snapshot.pages_per_block,
+            snapshot.bits_per_cell,
+        )
+        if mine != theirs:
+            raise ValueError(
+                f"snapshot geometry {theirs} does not match device {mine}"
+            )
+        for name in _COLUMN_WIDTHS:
+            blob = snapshot.columns.get(name)
+            if blob is None:
+                raise ValueError(f"snapshot is missing column {name!r}")
+            expected = self._column_length(name)
+            if len(blob) != expected:
+                raise ValueError(
+                    f"snapshot column {name!r} holds {len(blob)} bytes, "
+                    f"expected {expected} (truncated or stale layout)"
+                )
+        columns = snapshot.columns
+        self.page_state[:] = columns["page_state"]
+        self.wl_mode[:] = columns["wl_mode"]
+        memoryview(self.wl_read_count).cast("B")[:] = columns["wl_read_count"]
+        memoryview(self.next_page).cast("B")[:] = columns["next_page"]
+        memoryview(self.valid_count).cast("B")[:] = columns["valid_count"]
+        memoryview(self.erase_count).cast("B")[:] = columns["erase_count"]
+        memoryview(self.programmed_at_us).cast("B")[:] = columns[
+            "programmed_at_us"
+        ]
+        self.flags[:] = columns["flags"]
+        # Rebind the zero-copy views.  They still target the same buffers,
+        # so this is belt-and-braces for the view-ownership contract: any
+        # consumer reading through ``state.<col>_np`` is guaranteed a view
+        # of the restored memory.
+        self.page_state_np = np.frombuffer(self.page_state, dtype=np.uint8)
+        self.wl_mode_np = np.frombuffer(self.wl_mode, dtype=np.uint8)
+        self.wl_read_count_np = np.frombuffer(self.wl_read_count, dtype=np.int64)
+        self.next_page_np = np.frombuffer(self.next_page, dtype=np.int64)
+        self.valid_count_np = np.frombuffer(self.valid_count, dtype=np.int64)
+        self.erase_count_np = np.frombuffer(self.erase_count, dtype=np.int64)
+        self.programmed_at_us_np = np.frombuffer(
+            self.programmed_at_us, dtype=np.float64
+        )
+        self.flags_np = np.frombuffer(self.flags, dtype=np.uint8)
 
     # ------------------------------------------------------------------
     # Derived geometry helpers

@@ -145,6 +145,43 @@ class PageMap:
             del reverse[ppn]
         reverse.update(zip(ppns.tolist(), lpns.tolist()))
 
+    def export_forward(self) -> bytes:
+        """The forward column as raw ``int64`` bytes (snapshot capture).
+
+        The reverse dict is *not* exported: it is the exact inverse of
+        the forward column (the property-tested invariant), so
+        :meth:`load_forward` rebuilds it — snapshots stay half the size
+        and can never carry an inconsistent pair.
+        """
+        return self._forward.tobytes()
+
+    def load_forward(self, blob: bytes) -> None:
+        """Replace the whole map from an :meth:`export_forward` blob.
+
+        Rebuilds the reverse dict from the mapped entries, restoring the
+        forward/reverse inverse invariant by construction.
+
+        Raises:
+            ValueError: if ``blob`` is not a whole number of ``int64``
+                entries (a truncated snapshot).
+        """
+        if len(blob) % 8:
+            raise ValueError(
+                f"forward-map blob holds {len(blob)} bytes, "
+                "not a whole number of int64 entries"
+            )
+        forward = array("q")
+        forward.frombytes(blob)
+        self._forward = forward
+        if len(forward):
+            column = np.frombuffer(forward, dtype=np.int64)
+            mapped = np.flatnonzero(column != NO_PPN)
+            self._reverse = dict(
+                zip(column[mapped].tolist(), mapped.tolist())
+            )
+        else:
+            self._reverse = {}
+
     def rebind_physical(self, old_ppn: int, new_ppn: int) -> int:
         """Move live data from ``old_ppn`` to ``new_ppn`` (GC / refresh).
 
