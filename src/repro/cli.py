@@ -54,6 +54,7 @@ from .experiments import (
     format_fig11,
     format_fig_breakdown,
     format_qlc,
+    format_recovery,
     format_table3,
     format_table4,
     format_table5,
@@ -66,6 +67,8 @@ from .experiments import (
     run_fig11,
     run_fig_breakdown,
     run_qlc_extension,
+    run_recovery,
+    recovery_to_json,
     run_refresh_frequency_ablation,
     run_table3,
     run_table4,
@@ -88,6 +91,7 @@ ARTIFACTS: dict[str, tuple[Callable, Callable]] = {
     "qlc": (run_qlc_extension, format_qlc),
     "faults": (run_faults, format_faults),
     "health": (run_health, format_health),
+    "recover": (run_recovery, format_recovery),
     "capacity": (run_capacity_analysis, format_capacity),
     "ablation-adjust": (run_adjust_cost_ablation, format_ablation),
     "ablation-refresh": (run_refresh_frequency_ablation, format_ablation),
@@ -151,11 +155,19 @@ def _build_parser() -> argparse.ArgumentParser:
              "--snapshots)",
     )
     parser.add_argument(
+        "--cuts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total power-cut points for the 'recover' artifact "
+             "(default: 200; other artifacts reject this flag)",
+    )
+    parser.add_argument(
         "--json-out",
         metavar="PATH",
         default=None,
         help="also write the artifact's JSON form to PATH "
-             "(supported by: faults, breakdown, health)",
+             "(supported by: faults, breakdown, health, recover)",
     )
     parser.add_argument(
         "--prom",
@@ -172,6 +184,7 @@ _JSON_EXPORTERS: dict[str, Callable] = {
     "faults": faults_to_json,
     "breakdown": breakdown_to_json,
     "health": health_to_json,
+    "recover": recovery_to_json,
 }
 
 #: artifact name -> Prometheus exposition exporter.
@@ -190,11 +203,13 @@ def _run_one(
     prom_out: str | None = None,
     snapshots: bool = False,
     snapshot_dir: str | None = None,
+    cuts: int | None = None,
 ) -> str:
     runner, formatter = ARTIFACTS[name]
     snapshot_stats: dict | None = (
         {} if (snapshots or snapshot_dir) else None
     )
+    extra = {"cuts": cuts} if cuts is not None else {}
     started = time.time()
     result = runner(
         scale=scale,
@@ -205,6 +220,7 @@ def _run_one(
         snapshots=snapshots,
         snapshot_dir=snapshot_dir,
         snapshot_stats=snapshot_stats,
+        **extra,
     )
     elapsed = time.time() - started
     if json_out:
@@ -627,6 +643,11 @@ def main(argv: list[str] | None = None) -> int:
             f"--prom is not supported for {targets[0]!r}; "
             f"use one of {sorted(_PROM_EXPORTERS)}"
         )
+    if args.cuts is not None:
+        if targets != ["recover"]:
+            raise SystemExit("--cuts only applies to the 'recover' artifact")
+        if args.cuts < 1:
+            raise SystemExit("--cuts must be >= 1")
     for name in targets:
         print(
             _run_one(
@@ -639,6 +660,7 @@ def main(argv: list[str] | None = None) -> int:
                 prom_out=args.prom,
                 snapshots=args.snapshots,
                 snapshot_dir=args.snapshot_dir,
+                cuts=args.cuts,
             )
         )
         print()

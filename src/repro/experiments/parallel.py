@@ -49,12 +49,13 @@ import logging
 import multiprocessing
 from concurrent.futures.process import BrokenProcessPool
 import pickle
+import random
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from ..faults.plan import FaultPlan
+from ..faults.plan import FaultKind, FaultPlan
 from ..obs.health import HealthMonitor
 from ..obs.interval import IntervalCollector
 from ..obs.metrics import MetricsRegistry
@@ -104,7 +105,7 @@ _SNAPSHOT_LRU_CAPACITY = 8
 #: Log-style progress callback: called once per completed unit.
 ProgressFn = Callable[[str], None]
 
-_MODES = ("open", "closed", "capacity")
+_MODES = ("open", "closed", "capacity", "recover")
 
 
 @dataclass(frozen=True)
@@ -118,8 +119,10 @@ class RunUnit:
         scale: Run scale (scaling of the spec happens in the worker).
         seed: The unit's own RNG seed — determinism is per-unit.
         mode: ``"open"`` (trace replay), ``"closed"`` (fixed queue
-            depth, Fig. 10) or ``"capacity"`` (read-then-write phase
-            pair, Sec. III-C).
+            depth, Fig. 10), ``"capacity"`` (read-then-write phase
+            pair, Sec. III-C) or ``"recover"`` (run to a power cut,
+            remount from on-flash metadata, verify and resume — see
+            :mod:`repro.experiments.recovery_artifact`).
         queue_depth: Outstanding requests for ``"closed"`` units.
         profile: Attach a :class:`~repro.obs.profiler.SimProfiler` to
             the run; its aggregate rides back on the payload's
@@ -166,6 +169,15 @@ class RunUnit:
             )
         if self.slo is not None and not self.health:
             raise ValueError("slo objectives require health=True")
+        if self.mode == "recover" and (
+            self.faults is None
+            or not any(
+                e.kind is FaultKind.POWER_CUT for e in self.faults.events
+            )
+        ):
+            raise ValueError(
+                "recover-mode units need a fault plan with a power_cut event"
+            )
         if self.backend not in ENGINE_BACKENDS:
             valid = ", ".join(sorted(ENGINE_BACKENDS))
             raise ValueError(
@@ -239,8 +251,13 @@ def execute_unit(
     tracer: Tracer | None = None,
     collector: IntervalCollector | None = None,
     warm: WarmHandle | None = None,
-) -> RunResultPayload | CapacityCensus:
+) -> RunResultPayload | CapacityCensus | dict:
     """Run one unit in the current process (worker body and inline path)."""
+    if unit.mode == "recover":
+        # Local import: recovery_artifact imports this module at top level.
+        from .recovery_artifact import run_recovery_unit
+
+        return run_recovery_unit(unit, warm=warm)
     spec = unit.resolve_workload()
     # Worker-side profiler / health monitor: constructed here so nothing
     # live crosses the fork; only plain-dict payloads ride back.
@@ -374,7 +391,16 @@ class SweepExecutor:
         max_retries: How many times a unit whose worker *crashed or hung*
             is retried (fresh pool, exponential backoff).  Deterministic
             unit exceptions are never retried.
-        backoff_s: Base backoff; retry ``n`` sleeps ``backoff_s * 2**(n-1)``.
+        backoff_s: Base backoff.  Retry ``n`` sleeps a *full-jitter*
+            delay: uniform in ``[0, min(backoff_cap_s,
+            backoff_s * 2**(n-1)))``.  Jitter desynchronises the retry
+            stampede when several sweeps share a machine that just
+            OOM-killed their workers; the cap keeps deep retry budgets
+            from sleeping for minutes.  ``0`` disables sleeping.
+        backoff_cap_s: Ceiling on any single backoff delay.
+        registry: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, total slept backoff rides the
+            ``sweep_retry_backoff_seconds_total`` counter.
         keep_going: Instead of raising on the first failure, leave a
             :class:`SweepError` in the failed unit's result slot and
             finish the rest of the sweep.
@@ -404,9 +430,11 @@ class SweepExecutor:
         timeout_s: float | None = None,
         max_retries: int = 0,
         backoff_s: float = 0.5,
+        backoff_cap_s: float = 30.0,
         keep_going: bool = False,
         snapshots: bool = False,
         snapshot_dir: str | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -416,12 +444,26 @@ class SweepExecutor:
             raise ValueError("max_retries must be >= 0")
         if backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
+        if backoff_cap_s <= 0:
+            raise ValueError("backoff_cap_s must be positive")
         self.jobs = jobs
         self.progress = progress
         self._mp_context = mp_context
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        # Fixed-seed jitter: retry *timing* may vary run to run without
+        # harm, but a seeded stream keeps tests and reruns repeatable.
+        self._backoff_rng = random.Random(0x5EE9)
+        self._backoff_total = (
+            registry.counter(
+                "sweep_retry_backoff_seconds_total",
+                "seconds slept backing off before sweep-unit retries",
+            ).unlabeled
+            if registry is not None
+            else None
+        )
         self.keep_going = keep_going
         self.snapshot_dir = snapshot_dir
         self.snapshots = bool(snapshots or snapshot_dir)
@@ -662,10 +704,27 @@ class SweepExecutor:
                     completed += 1
                     self._emit(completed, total, units[index])
                 elif self.backoff_s > 0:
-                    time.sleep(self.backoff_s * (2 ** (attempts[index] - 1)))
+                    delay = self._retry_delay(attempts[index])
+                    if delay > 0:
+                        time.sleep(delay)
         finally:
             _release_segments(segments)
         return results
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Full-jitter delay for retry ``attempt`` (1-based), metered.
+
+        Uniform in ``[0, min(backoff_cap_s, backoff_s * 2**(attempt-1)))``
+        — the AWS "full jitter" scheme: the *ceiling* grows
+        exponentially, the draw spreads concurrent retriers out over it.
+        """
+        ceiling = min(
+            self.backoff_cap_s, self.backoff_s * (2 ** (attempt - 1))
+        )
+        delay = ceiling * self._backoff_rng.random()
+        if self._backoff_total is not None:
+            self._backoff_total.inc(delay)
+        return delay
 
 
 def execute_units(
@@ -675,10 +734,12 @@ def execute_units(
     timeout_s: float | None = None,
     max_retries: int = 0,
     backoff_s: float = 0.5,
+    backoff_cap_s: float = 30.0,
     keep_going: bool = False,
     snapshots: bool = False,
     snapshot_dir: str | None = None,
     snapshot_stats: dict | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[RunResultPayload | CapacityCensus | SweepError]:
     """One-shot convenience wrapper around :class:`SweepExecutor`.
 
@@ -692,9 +753,11 @@ def execute_units(
         timeout_s=timeout_s,
         max_retries=max_retries,
         backoff_s=backoff_s,
+        backoff_cap_s=backoff_cap_s,
         keep_going=keep_going,
         snapshots=snapshots,
         snapshot_dir=snapshot_dir,
+        registry=registry,
     )
     results = executor.map(units)
     if snapshot_stats is not None:

@@ -11,10 +11,11 @@ all that a torn IDA reprogram always resolves to one coding or the
 other.  See ``docs/faults.md``.
 """
 
-from .injector import FaultedOp, FaultInjector
+from .injector import FaultedOp, FaultInjector, PowerCutError
 from .invariants import check_coding_invariants
 from .plan import (
     OP_KIND_OF,
+    PLAN_SCHEMA,
     TIMED_KINDS,
     FaultEvent,
     FaultKind,
@@ -29,9 +30,11 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultedOp",
+    "PowerCutError",
     "check_coding_invariants",
     "load_plan",
     "save_plan",
     "OP_KIND_OF",
+    "PLAN_SCHEMA",
     "TIMED_KINDS",
 ]

@@ -25,7 +25,32 @@ from __future__ import annotations
 
 from .plan import OP_KIND_OF, TIMED_KINDS, FaultEvent, FaultKind, FaultPlan
 
-__all__ = ["FaultInjector", "FaultedOp"]
+__all__ = ["FaultInjector", "FaultedOp", "PowerCutError"]
+
+
+class PowerCutError(RuntimeError):
+    """The simulated device lost power mid-run.
+
+    Raised out of the event loop by a :data:`FaultKind.POWER_CUT` event.
+    Unlike every other fault there is no in-run recovery: the simulator
+    object is dead at this point and the caller remounts the surviving
+    :class:`~repro.flash.state.DeviceState` via
+    :func:`repro.ftl.recovery.mount_device`.
+
+    Attributes:
+        now_us: Simulated time the cut struck.
+        ops_dispatched: Physical ops dispatched before the cut (the cut
+            op itself, when ordinal-triggered, was *not* issued — its
+            request is never acknowledged).
+    """
+
+    def __init__(self, now_us: float, ops_dispatched: int) -> None:
+        super().__init__(
+            f"power cut at t={now_us:.1f}us after "
+            f"{ops_dispatched} dispatched ops"
+        )
+        self.now_us = now_us
+        self.ops_dispatched = ops_dispatched
 
 
 class FaultedOp:
@@ -61,14 +86,30 @@ class FaultInjector:
         self.events: list[dict] = []
         self.fired: dict[str, int] = {kind.value: 0 for kind in FaultKind}
         self.fired["read_reclaim"] = 0
-        # Op-coupled events keyed by (op-kind value, ordinal).
+        # Op-coupled events keyed by (op-kind value, ordinal); power
+        # cuts keyed by ordinal into the stream of ALL dispatched ops.
         self._pending: dict[str, dict[int, FaultEvent]] = {}
+        self._power_cuts: dict[int, FaultEvent] = {}
         for event in plan.events:
+            if event.kind is FaultKind.POWER_CUT:
+                if event.op_ordinal is not None:
+                    self._power_cuts[event.op_ordinal] = event
+                continue
             if event.kind in TIMED_KINDS:
                 continue
             op_kind = OP_KIND_OF[event.kind]
             self._pending.setdefault(op_kind, {})[event.op_ordinal] = event
         self._seen = {value: 0 for value in OP_KIND_OF.values()}
+        #: Global dispatched-op counter (every kind), driving power-cut
+        #: ordinals — deliberately identical across execution backends,
+        #: which route all *timed* ops through the same dispatch path.
+        self.ops_seen = 0
+        #: When a list, every dispatched op appends its kind value here.
+        #: The crash-consistency harness arms this on a cut-free probe
+        #: run to learn which ordinals fall in write / GC / refresh /
+        #: ADJUST phases before choosing cut points.  ``None`` (default)
+        #: costs one check per dispatch.
+        self.census: list[str] | None = None
 
     # ------------------------------------------------------------------
     # Binding
@@ -80,6 +121,10 @@ class FaultInjector:
         for event in self.plan.events:
             if event.kind in TIMED_KINDS:
                 sim.engine.at(event.at_us, lambda e=event: self._fire_timed(e))
+            elif event.kind is FaultKind.POWER_CUT and event.at_us is not None:
+                sim.engine.at(
+                    event.at_us, lambda e=event: self._fire_power_cut(e)
+                )
 
     # ------------------------------------------------------------------
     # Triggering (called from SsdSimulator._issue, faults-enabled only)
@@ -88,9 +133,20 @@ class FaultInjector:
         """Count a dispatched op; return a context if the plan fails it.
 
         UNCORRECTABLE_READ ordinals index *host* reads only — internal
-        (GC/refresh/recovery) reads pass through uncounted.
+        (GC/refresh/recovery) reads pass through uncounted.  Power-cut
+        ordinals index every dispatched op regardless of kind; a
+        matching cut raises :class:`PowerCutError` *before* the op is
+        issued, so the surviving device arrays reflect a clean event
+        boundary (FTL transitions are eager and complete per request).
         """
         op_kind = op.kind.value
+        self.ops_seen += 1
+        if self.census is not None:
+            self.census.append(op_kind)
+        if self._power_cuts:
+            cut = self._power_cuts.pop(self.ops_seen, None)
+            if cut is not None:
+                self._fire_power_cut(cut)
         if op_kind == "read" and not host_read:
             return None
         if op_kind not in self._seen:
@@ -109,15 +165,6 @@ class FaultInjector:
 
         def completion(start_us: float, end_us: float) -> None:
             self._recover(ctx, end_us)
-            inner(start_us, end_us)
-
-        return completion
-
-    def wrap_adjust_commit(self, op, inner):
-        """Completion callback committing a *clean* adjust's journal entry."""
-
-        def completion(start_us: float, end_us: float) -> None:
-            self.sim.ftl.commit_adjust(op.block_index, op.wordline)
             inner(start_us, end_us)
 
         return completion
@@ -162,6 +209,17 @@ class FaultInjector:
         )
         if ops:
             self.sim.issue_internal_sequence(ops)
+
+    def _fire_power_cut(self, event: FaultEvent) -> None:
+        """Record the cut, then kill the run — no in-sim recovery."""
+        now = self.sim.engine.now
+        self._record(
+            event.kind.value,
+            now,
+            op_ordinal=event.op_ordinal,
+            ops_dispatched=self.ops_seen,
+        )
+        raise PowerCutError(now, self.ops_seen)
 
     def _fire_timed(self, event: FaultEvent) -> None:
         now = self.sim.engine.now

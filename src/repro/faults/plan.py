@@ -28,9 +28,16 @@ __all__ = [
     "FaultKind",
     "FaultEvent",
     "FaultPlan",
+    "PLAN_SCHEMA",
     "load_plan",
     "save_plan",
 ]
+
+#: On-disk fault-plan schema version.  Written into every serialised
+#: plan; :meth:`FaultPlan.from_dict` rejects plans carrying a different
+#: version (a plan without the field predates versioning and is read as
+#: version 1).
+PLAN_SCHEMA = 1
 
 
 class FaultKind(Enum):
@@ -53,6 +60,13 @@ class FaultKind(Enum):
     #: An IDA voltage adjustment is interrupted mid-reprogram — the
     #: torn-wordline case the recovery invariant pins down.
     ADJUST_INTERRUPT = "adjust_interrupt"
+    #: Sudden power-off: the whole simulation halts, either at a fixed
+    #: simulated time or on the N-th dispatched physical op of *any*
+    #: kind.  Unlike every other kind there is no in-run recovery — the
+    #: injector raises :class:`~repro.faults.injector.PowerCutError` and
+    #: the crash-consistency harness remounts the device from its
+    #: surviving arrays (:func:`repro.ftl.recovery.mount_device`).
+    POWER_CUT = "power_cut"
 
 
 #: Kinds that fire at a simulated time rather than on an op ordinal.
@@ -94,7 +108,21 @@ class FaultEvent:
     die: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind in TIMED_KINDS:
+        if self.kind is FaultKind.POWER_CUT:
+            # The one kind living in both trigger domains: a cut fires
+            # either at a wall-clock instant or on the N-th dispatched
+            # op of ANY kind (the harness's phase-targeted cut points).
+            if (self.at_us is None) == (self.op_ordinal is None):
+                raise ValueError(
+                    "power_cut events need exactly one of at_us / op_ordinal"
+                )
+            if self.op_ordinal is not None and self.op_ordinal < 1:
+                raise ValueError("op_ordinal is 1-based and must be >= 1")
+            if self.block is not None or self.die is not None:
+                raise ValueError(
+                    "power_cut hits the whole device; block/die are invalid"
+                )
+        elif self.kind in TIMED_KINDS:
             if self.at_us is None:
                 raise ValueError(f"{self.kind.value} events need at_us")
             if self.op_ordinal is not None:
@@ -125,13 +153,46 @@ class FaultEvent:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultEvent":
-        return cls(
-            kind=FaultKind(data["kind"]),
-            at_us=data.get("at_us"),
-            op_ordinal=data.get("op_ordinal"),
-            block=data.get("block"),
-            die=data.get("die"),
-        )
+        """Parse one event dict, rejecting malformed entries clearly.
+
+        Raises:
+            ValueError: unknown ``kind``, a non-numeric field, or a
+                field combination :meth:`__post_init__` rejects.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault event must be a JSON object, got {type(data).__name__}"
+            )
+        if "kind" not in data:
+            raise ValueError("fault event is missing its 'kind' field")
+        try:
+            kind = FaultKind(data["kind"])
+        except ValueError:
+            valid = ", ".join(sorted(k.value for k in FaultKind))
+            raise ValueError(
+                f"unknown fault kind {data['kind']!r}; valid kinds: {valid}"
+            ) from None
+        unknown = set(data) - {"kind", "at_us", "op_ordinal", "block", "die"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault event field(s): {', '.join(sorted(unknown))}"
+            )
+        at_us = data.get("at_us")
+        if at_us is not None and not isinstance(at_us, (int, float)):
+            raise ValueError(
+                f"at_us must be a number, got {type(at_us).__name__}"
+            )
+        fields: dict = {"at_us": at_us}
+        for name in ("op_ordinal", "block", "die"):
+            value = data.get(name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ValueError(
+                    f"{name} must be an integer, got {value!r}"
+                )
+            fields[name] = value
+        return cls(kind=kind, **fields)
 
 
 @dataclass(frozen=True)
@@ -262,6 +323,7 @@ class FaultPlan:
     def to_dict(self) -> dict:
         out: dict = {
             "kind": "fault_plan",
+            "schema": PLAN_SCHEMA,
             "name": self.name,
             "events": [event.to_dict() for event in self.events],
         }
@@ -273,12 +335,35 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
+        """Parse a plan dict; errors name the offending entry.
+
+        Raises:
+            ValueError: wrong ``kind`` tag, an unsupported ``schema``
+                version, a non-list ``events`` field, or any malformed
+                event — the message carries ``events[i]`` context so a
+                broken hand-written plan is immediately locatable.
+        """
         if data.get("kind") not in (None, "fault_plan"):
             raise ValueError(f"not a fault plan: kind={data.get('kind')!r}")
+        schema = data.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ValueError(
+                f"unsupported fault plan schema {schema!r}; this build "
+                f"reads schema {PLAN_SCHEMA}"
+            )
+        raw_events = data.get("events", ())
+        if not isinstance(raw_events, (list, tuple)):
+            raise ValueError(
+                f"events must be a list, got {type(raw_events).__name__}"
+            )
+        events = []
+        for index, raw in enumerate(raw_events):
+            try:
+                events.append(FaultEvent.from_dict(raw))
+            except ValueError as exc:
+                raise ValueError(f"events[{index}]: {exc}") from None
         return cls(
-            events=tuple(
-                FaultEvent.from_dict(event) for event in data.get("events", ())
-            ),
+            events=tuple(events),
             name=data.get("name", "faults"),
             seed=data.get("seed"),
             read_reclaim_threshold=data.get("read_reclaim_threshold"),

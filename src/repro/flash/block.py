@@ -25,7 +25,13 @@ import numpy as np
 
 from ..core.coding import GrayCoding
 from ..core.ida import IdaTransform
-from .state import FLAG_IS_IDA, FLAG_LOCKED, FLAG_RETIRED, DeviceState
+from .state import (
+    FLAG_IS_IDA,
+    FLAG_LOCKED,
+    FLAG_RETIRED,
+    NO_SUMMARY,
+    DeviceState,
+)
 
 __all__ = ["PageState", "SenseTable", "Block", "CONVENTIONAL_WL", "TORN_WL"]
 
@@ -360,7 +366,12 @@ class Block:
         self._wl[self._w0 + wordline] = mode
 
     def erase(self) -> None:
-        """Erase the block: all pages free, wear counter bumped."""
+        """Erase the block: all pages free, wear counter bumped.
+
+        The erase pulse wipes the on-flash SPOR metadata with the data:
+        OOB records, the summary page, and any stale reprogram-journal
+        rows of this block all reset to their fresh-block values.
+        """
         state = self.state
         slot = self.slot
         if state.valid_count[slot]:
@@ -374,6 +385,73 @@ class Block:
         state.erase_count[slot] += 1
         state.programmed_at_us[slot] = float("nan")
         state.flags[slot] &= ~FLAG_IS_IDA & 0xFF
+        p_end = self._p0 + self.pages_per_block
+        w_end = self._w0 + self.wordlines
+        memoryview(state.oob_lpn).cast("B")[
+            8 * self._p0 : 8 * p_end
+        ] = state._fresh_oob_lpn
+        memoryview(state.oob_seq).cast("B")[
+            8 * self._p0 : 8 * p_end
+        ] = state._fresh_oob_seq
+        state.summary_seq[slot] = NO_SUMMARY
+        state.summary_wl_mode[self._w0 : w_end] = state._conv_wordlines
+        state.journal_bit[self._w0 : w_end] = bytes(self.wordlines)
+        state.journal_kept[self._w0 : w_end] = bytes(self.wordlines)
+
+    def seal_summary(self) -> None:
+        """Write the block summary page (called when the block fills).
+
+        Real controllers append a summary page as the last program of a
+        block: here it durably stamps a close-time sequence number (one
+        past the newest OOB record in the block — derived from the
+        block's own pages so the scalar and batch write paths seal
+        identically) and a copy of every wordline's coding mode.  Later
+        ADJUST commits update the ``summary_wl_mode`` row in place
+        (modelling the summary rewrite that accompanies an IDA
+        reprogram).
+        """
+        state = self.state
+        base = self._p0
+        seqs = state.oob_seq_np[base : base + self.pages_per_block]
+        state.summary_seq[self.slot] = int(seqs.max()) + 1
+        w_end = self._w0 + self.wordlines
+        state.summary_wl_mode[self._w0 : w_end] = state.wl_mode[
+            self._w0 : w_end
+        ]
+
+    def journal_adjust(
+        self, wordline: int, start_bit: int, kept_pages: tuple[int, ...]
+    ) -> None:
+        """Persist an ADJUST intent in the on-flash journal columns.
+
+        Written *before* the adjust pulse is issued, like a real
+        controller's write-ahead journal: a power cut between this record
+        and :meth:`commit_wordline_summary` leaves enough on flash for
+        the mount path to roll the wordline forward to the intended
+        coding.  ``kept_pages`` are page-in-block indices riding the
+        wordline; they pack into a bitmask of in-wordline offsets (at
+        most ``bits_per_cell`` <= 8 pages per wordline).
+        """
+        state = self.state
+        gw = self._w0 + wordline
+        state.journal_bit[gw] = start_bit
+        base = wordline * self.bits_per_cell
+        mask = 0
+        for page in kept_pages:
+            mask |= 1 << (page - base)
+        state.journal_kept[gw] = mask
+
+    def commit_wordline_summary(self, wordline: int) -> None:
+        """Durably record ``wordline``'s current mode and clear its journal.
+
+        The on-flash commit record of a completed IDA ADJUST: after this,
+        a power cut no longer rolls the wordline forward at mount.
+        """
+        state = self.state
+        gw = self._w0 + wordline
+        state.summary_wl_mode[gw] = state.wl_mode[gw]
+        state.journal_bit[gw] = 0
+        state.journal_kept[gw] = 0
 
     def senses_for(self, table: SenseTable, page: int) -> int:
         """Senses a read of ``page`` needs given the wordline's mode."""

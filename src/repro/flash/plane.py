@@ -80,6 +80,7 @@ class PlanePool:
         if self.active is not None and not self.blocks[self.active].is_full:
             return self.blocks[self.active]
         if self.active is not None:
+            self.blocks[self.active].seal_summary()
             self.used.add(self.active)
             self.active = None
         if not self.free:
@@ -88,8 +89,14 @@ class PlanePool:
         return self.blocks[self.active]
 
     def retire_active(self) -> None:
-        """Move a filled active block to the used set."""
+        """Move a filled active block to the used set.
+
+        Closing a block writes its summary page (close-time sequence
+        stamp + wordline coding modes) — the SPOR mount's per-block
+        anchor record.
+        """
         if self.active is not None and self.blocks[self.active].is_full:
+            self.blocks[self.active].seal_summary()
             self.used.add(self.active)
             self.active = None
 

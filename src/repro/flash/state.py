@@ -43,7 +43,35 @@ column                 per        dtype         meaning
                                                 erase (RBER retention input;
                                                 NaN = never programmed)
 ``flags``              block      uint8         IS_IDA | LOCKED | RETIRED
+``oob_lpn``            page       int64         on-flash OOB record: owning
+                                                LPN (-1 = never programmed)
+``oob_seq``            page       int64         on-flash OOB record: global
+                                                write sequence number
+``summary_seq``        block      int64         block summary page: one past
+                                                the newest OOB sequence at
+                                                block close (-1 = not
+                                                sealed)
+``summary_wl_mode``    wordline   uint8         block summary page: durable
+                                                copy of the wordline coding
+                                                mode, updated at ADJUST
+                                                commit
+``journal_bit``        wordline   uint8         on-flash ADJUST journal:
+                                                intended kept-suffix start
+                                                bit (0 = no intent pending)
+``journal_kept``       wordline   uint8         on-flash ADJUST journal:
+                                                bitmask of kept in-wordline
+                                                page offsets
 =====================  =========  ============  =============================
+
+The last six columns are the sudden-power-off-recovery (SPOR) metadata a
+real controller keeps on-flash: per-page OOB spare-area records written
+with every program, a per-block summary page sealed when a block fills,
+and a two-column reprogram journal persisted before each IDA ADJUST.
+``repro.ftl.recovery`` mounts a device from these columns alone (see
+``docs/faults.md``).  The monotonically increasing ``write_seq`` scalar
+feeds ``oob_seq``; every program — host write or relocation — stamps a
+fresh sequence number, so the newest stamp of an LPN always marks its
+live physical copy.
 
 View-ownership rules (enforced by convention, pinned by the parity
 tests): only :class:`~repro.flash.block.Block` views and the vectorized
@@ -64,6 +92,8 @@ __all__ = [
     "FLAG_IS_IDA",
     "FLAG_LOCKED",
     "FLAG_RETIRED",
+    "NO_LPN",
+    "NO_SUMMARY",
 ]
 
 #: ``flags`` column bits.
@@ -79,7 +109,15 @@ _PAGE_FREE = 0
 _PAGE_VALID = 1
 _PAGE_INVALID = 2
 
+#: ``oob_lpn`` value of a never-programmed page.
+NO_LPN = -1
+
+#: ``summary_seq`` value of a block whose summary page was never sealed.
+NO_SUMMARY = -1
+
 #: Column name -> bytes-per-element, fixing the snapshot wire layout.
+#: ``write_seq`` is a scalar riding the snapshot as an 8-byte
+#: pseudo-column so old snapshots (missing it) are rejected cleanly.
 _COLUMN_WIDTHS = {
     "page_state": 1,
     "wl_mode": 1,
@@ -89,6 +127,13 @@ _COLUMN_WIDTHS = {
     "erase_count": 8,
     "programmed_at_us": 8,
     "flags": 1,
+    "oob_lpn": 8,
+    "oob_seq": 8,
+    "summary_seq": 8,
+    "summary_wl_mode": 1,
+    "journal_bit": 1,
+    "journal_kept": 1,
+    "write_seq": 8,
 }
 
 
@@ -163,6 +208,14 @@ class DeviceState:
         "erase_count",
         "programmed_at_us",
         "flags",
+        "oob_lpn",
+        "oob_seq",
+        "summary_seq",
+        "summary_wl_mode",
+        "journal_bit",
+        "journal_kept",
+        # global write sequence counter feeding ``oob_seq``
+        "write_seq",
         # zero-copy numpy views over the buffers above
         "page_state_np",
         "wl_mode_np",
@@ -172,9 +225,17 @@ class DeviceState:
         "erase_count_np",
         "programmed_at_us_np",
         "flags_np",
+        "oob_lpn_np",
+        "oob_seq_np",
+        "summary_seq_np",
+        "summary_wl_mode_np",
+        "journal_bit_np",
+        "journal_kept_np",
         # cached erase fill patterns
         "_zero_pages",
         "_conv_wordlines",
+        "_fresh_oob_lpn",
+        "_fresh_oob_seq",
     )
 
     def __init__(
@@ -199,10 +260,20 @@ class DeviceState:
         self.erase_count = array("q", bytes(8 * num_blocks))
         self.programmed_at_us = array("d", bytes(8 * num_blocks))
         self.flags = bytearray(num_blocks)
+        self.oob_lpn = array("q", bytes(8 * self.num_pages))
+        self.oob_seq = array("q", bytes(8 * self.num_pages))
+        self.summary_seq = array("q", bytes(8 * num_blocks))
+        self.summary_wl_mode = (
+            bytearray([_CONVENTIONAL_WL]) * self.num_wordlines
+        )
+        self.journal_bit = bytearray(self.num_wordlines)
+        self.journal_kept = bytearray(self.num_wordlines)
+        self.write_seq = 0
 
         nan = float("nan")
         for i in range(num_blocks):
             self.programmed_at_us[i] = nan
+            self.summary_seq[i] = NO_SUMMARY
 
         # Live views: same memory, so scalar and vector mutations stay
         # coherent by construction (the buffers are never resized).
@@ -216,9 +287,24 @@ class DeviceState:
             self.programmed_at_us, dtype=np.float64
         )
         self.flags_np = np.frombuffer(self.flags, dtype=np.uint8)
+        self.oob_lpn_np = np.frombuffer(self.oob_lpn, dtype=np.int64)
+        self.oob_seq_np = np.frombuffer(self.oob_seq, dtype=np.int64)
+        self.summary_seq_np = np.frombuffer(self.summary_seq, dtype=np.int64)
+        self.summary_wl_mode_np = np.frombuffer(
+            self.summary_wl_mode, dtype=np.uint8
+        )
+        self.journal_bit_np = np.frombuffer(self.journal_bit, dtype=np.uint8)
+        self.journal_kept_np = np.frombuffer(self.journal_kept, dtype=np.uint8)
+        # The per-page OOB columns are too large for a scalar fill loop at
+        # full-device scale; the numpy views make the -1 fill a memset.
+        self.oob_lpn_np[:] = NO_LPN
 
         self._zero_pages = bytes(pages_per_block)
         self._conv_wordlines = bytes([_CONVENTIONAL_WL]) * self.wordlines_per_block
+        self._fresh_oob_lpn = (NO_LPN).to_bytes(
+            8, "little", signed=True
+        ) * pages_per_block
+        self._fresh_oob_seq = bytes(8 * pages_per_block)
 
     # ------------------------------------------------------------------
     # Snapshot / restore (the warm-state cache's device half)
@@ -234,6 +320,13 @@ class DeviceState:
             "erase_count": self.num_blocks,
             "programmed_at_us": self.num_blocks,
             "flags": self.num_blocks,
+            "oob_lpn": self.num_pages,
+            "oob_seq": self.num_pages,
+            "summary_seq": self.num_blocks,
+            "summary_wl_mode": self.num_wordlines,
+            "journal_bit": self.num_wordlines,
+            "journal_kept": self.num_wordlines,
+            "write_seq": 1,
         }[name]
         return per * _COLUMN_WIDTHS[name]
 
@@ -253,6 +346,13 @@ class DeviceState:
             "erase_count": self.erase_count.tobytes(),
             "programmed_at_us": self.programmed_at_us.tobytes(),
             "flags": bytes(self.flags),
+            "oob_lpn": self.oob_lpn.tobytes(),
+            "oob_seq": self.oob_seq.tobytes(),
+            "summary_seq": self.summary_seq.tobytes(),
+            "summary_wl_mode": bytes(self.summary_wl_mode),
+            "journal_bit": bytes(self.journal_bit),
+            "journal_kept": bytes(self.journal_kept),
+            "write_seq": self.write_seq.to_bytes(8, "little", signed=True),
         }
         return DeviceStateSnapshot(
             self.num_blocks, self.pages_per_block, self.bits_per_cell, columns
@@ -304,6 +404,15 @@ class DeviceState:
             "programmed_at_us"
         ]
         self.flags[:] = columns["flags"]
+        memoryview(self.oob_lpn).cast("B")[:] = columns["oob_lpn"]
+        memoryview(self.oob_seq).cast("B")[:] = columns["oob_seq"]
+        memoryview(self.summary_seq).cast("B")[:] = columns["summary_seq"]
+        self.summary_wl_mode[:] = columns["summary_wl_mode"]
+        self.journal_bit[:] = columns["journal_bit"]
+        self.journal_kept[:] = columns["journal_kept"]
+        self.write_seq = int.from_bytes(
+            columns["write_seq"], "little", signed=True
+        )
         # Rebind the zero-copy views.  They still target the same buffers,
         # so this is belt-and-braces for the view-ownership contract: any
         # consumer reading through ``state.<col>_np`` is guaranteed a view
@@ -318,6 +427,40 @@ class DeviceState:
             self.programmed_at_us, dtype=np.float64
         )
         self.flags_np = np.frombuffer(self.flags, dtype=np.uint8)
+        self.oob_lpn_np = np.frombuffer(self.oob_lpn, dtype=np.int64)
+        self.oob_seq_np = np.frombuffer(self.oob_seq, dtype=np.int64)
+        self.summary_seq_np = np.frombuffer(self.summary_seq, dtype=np.int64)
+        self.summary_wl_mode_np = np.frombuffer(
+            self.summary_wl_mode, dtype=np.uint8
+        )
+        self.journal_bit_np = np.frombuffer(self.journal_bit, dtype=np.uint8)
+        self.journal_kept_np = np.frombuffer(self.journal_kept, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # On-flash OOB records (the SPOR metadata write path)
+    # ------------------------------------------------------------------
+    def stamp_oob(self, ppn: int, lpn: int) -> int:
+        """Record ``lpn`` and the next write sequence number at ``ppn``.
+
+        Models the OOB spare-area bytes a real controller writes with
+        every page program.  Returns the sequence number used.
+        """
+        seq = self.write_seq
+        self.oob_lpn[ppn] = lpn
+        self.oob_seq[ppn] = seq
+        self.write_seq = seq + 1
+        return seq
+
+    def relocate_oob(self, old_ppn: int, new_ppn: int) -> int:
+        """Stamp a relocation's destination (GC / refresh / fault move).
+
+        The LPN travels with the data but the destination gets a *fresh*
+        sequence number, exactly as a real controller stamps GC writes:
+        the stale source copy keeps its old (smaller) stamp, so the
+        mount's last-write-wins scan always prefers the destination.
+        Returns the sequence number used.
+        """
+        return self.stamp_oob(new_ppn, self.oob_lpn[old_ppn])
 
     # ------------------------------------------------------------------
     # Derived geometry helpers
@@ -405,9 +548,14 @@ class DeviceState:
         return int(self.erase_count_np.sum())
 
     def memory_bytes(self) -> int:
-        """Resident size of all columns (the bounded-memory guarantee)."""
+        """Resident size of all columns (the bounded-memory guarantee).
+
+        Includes the 8 bytes of the ``write_seq`` scalar so the identity
+        ``snapshot().nbytes() == memory_bytes()`` holds.
+        """
         return (
-            len(self.page_state)
+            8  # write_seq
+            + len(self.page_state)
             + len(self.wl_mode)
             + 8 * len(self.wl_read_count)
             + 8 * len(self.next_page)
@@ -415,4 +563,10 @@ class DeviceState:
             + 8 * len(self.erase_count)
             + 8 * len(self.programmed_at_us)
             + len(self.flags)
+            + 8 * len(self.oob_lpn)
+            + 8 * len(self.oob_seq)
+            + 8 * len(self.summary_seq)
+            + len(self.summary_wl_mode)
+            + len(self.journal_bit)
+            + len(self.journal_kept)
         )

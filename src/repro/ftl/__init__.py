@@ -6,6 +6,7 @@ from .ftl import Ftl
 from .gc import GcPolicy, select_victim
 from .mapping import PageMap
 from .ops import FlashTranslation, FtlCounters, OpKind, PhysOp, WriteResult
+from .recovery import MountReport, mount_device
 from .refresh import (
     RefreshMode,
     RefreshPlan,
@@ -28,6 +29,8 @@ __all__ = [
     "GcPolicy",
     "select_victim",
     "PageMap",
+    "MountReport",
+    "mount_device",
     "OpKind",
     "PhysOp",
     "RefreshMode",

@@ -25,7 +25,18 @@ __all__ = ["BlockStatusTable"]
 class BlockStatusTable:
     """All block state of the device, indexed linearly and per plane."""
 
-    def __init__(self, geometry: Geometry, coding: GrayCoding) -> None:
+    def __init__(
+        self,
+        geometry: Geometry,
+        coding: GrayCoding,
+        state: DeviceState | None = None,
+    ) -> None:
+        """Args:
+            state: An existing columnar state to adopt instead of
+                allocating a fresh (all-erased) one.  The SPOR mount
+                path builds views over the surviving device arrays this
+                way; the geometry must match.
+        """
         if coding.bits != geometry.bits_per_cell:
             raise ValueError(
                 f"coding has {coding.bits} bits/cell but geometry expects "
@@ -34,7 +45,23 @@ class BlockStatusTable:
         self.geometry = geometry
         self.coding = coding
         self.sense_table = SenseTable(coding)
-        self.state = DeviceState(
+        if state is not None:
+            mine = (
+                geometry.total_blocks,
+                geometry.pages_per_block,
+                geometry.bits_per_cell,
+            )
+            theirs = (
+                state.num_blocks,
+                state.pages_per_block,
+                state.bits_per_cell,
+            )
+            if mine != theirs:
+                raise ValueError(
+                    f"adopted device state geometry {theirs} does not "
+                    f"match table geometry {mine}"
+                )
+        self.state = state if state is not None else DeviceState(
             num_blocks=geometry.total_blocks,
             pages_per_block=geometry.pages_per_block,
             bits_per_cell=geometry.bits_per_cell,

@@ -50,6 +50,9 @@ class Ftl:
         allocation: Static allocation strategy name ("cwdp" or "pdwc").
         tracer: Structured event tracer for GC / refresh / IDA-adjust
             events; ``None`` disables (the null fast path).
+        table: An existing block status table to adopt instead of
+            building a fresh one — the SPOR mount path hands the FTL a
+            table rebuilt from on-flash metadata this way.
     """
 
     def __init__(
@@ -61,13 +64,14 @@ class Ftl:
         rng: np.random.Generator | None = None,
         allocation: str = "cwdp",
         tracer: Tracer | None = None,
+        table: BlockStatusTable | None = None,
     ) -> None:
         self.geometry = geometry
         self.coding = coding
         self.refresh_policy = refresh_policy
         self.gc_policy = gc_policy or GcPolicy()
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.table = BlockStatusTable(geometry, coding)
+        self.table = table if table is not None else BlockStatusTable(geometry, coding)
         self.map = PageMap()
         self.allocator = StaticAllocator(geometry, allocation)
         self.disturb = AdjustDisturbModel(refresh_policy.error_rate)
@@ -329,6 +333,12 @@ class Ftl:
             if stamp != stamp:  # NaN: first program since erase
                 state.programmed_at_us[block_index] = float(times[slot])
 
+        # OOB records, in write order — identical (lpn, seq) stamps to
+        # the scalar path's per-program ``stamp_oob`` calls.
+        state.oob_lpn_np[new_ppns] = lpns
+        state.oob_seq_np[new_ppns] = state.write_seq + positions
+        state.write_seq += length
+
         self.map.bind_batch(uniq, new_ppns[last_positions], ext_ppns)
 
         for pool in pools:
@@ -376,6 +386,12 @@ class Ftl:
         for wl_plan in plan.adjusted_wordlines:
             start_bit = wl_plan.decision.adjust_bits[0]
             block.set_wordline_ida(wl_plan.wordline, start_bit)
+            # On-flash intent record, written before the ADJUST op is
+            # issued: a power cut before the commit rolls forward from
+            # this at mount (see repro.ftl.recovery).
+            block.journal_adjust(
+                wl_plan.wordline, start_bit, wl_plan.pages_to_keep
+            )
             if self._journal is not None:
                 # Intent record for torn-reprogram recovery: which mode the
                 # adjust lands in and which pages ride on the wordline.
@@ -460,8 +476,17 @@ class Ftl:
         self._read_reclaim_threshold = read_reclaim_threshold
 
     def commit_adjust(self, block_index: int, wordline: int | None) -> None:
-        """A voltage adjustment completed cleanly; drop its intent record."""
-        if self._journal is not None and wordline is not None:
+        """A voltage adjustment completed cleanly; commit it durably.
+
+        Writes the wordline's final mode into the block summary and
+        clears its on-flash journal row (the commit record a power cut
+        checks for at mount), then drops the in-RAM intent when fault
+        recovery is armed.
+        """
+        if wordline is None:
+            return
+        self.table.blocks[block_index].commit_wordline_summary(wordline)
+        if self._journal is not None:
             self._journal.pop((block_index, wordline), None)
 
     def on_program_failure(
@@ -648,6 +673,7 @@ class Ftl:
         finally:
             block.locked = False
         block.resolve_wordline(wordline, start_bit)
+        block.commit_wordline_summary(wordline)
         return ops
 
     # ------------------------------------------------------------------
@@ -676,8 +702,9 @@ class Ftl:
         self._ensure_free_blocks(pool, now_us, internal_ops)
         block = pool.active_block(now_us)
         page = block.program_next(now_us)
-        pool.retire_active()
         ppn = self.geometry.page_number(block.index, page)
+        self.table.state.stamp_oob(ppn, lpn)
+        pool.retire_active()
         self.map.bind(lpn, ppn)
         return PhysOp(kind=OpKind.WRITE, block_index=block.index, page=page)
 
@@ -695,8 +722,9 @@ class Ftl:
         self._ensure_free_blocks(pool, now_us, internal_ops)
         dest = pool.active_block(now_us)
         dest_page = dest.program_next(now_us)
-        pool.retire_active()
         new_ppn = self.geometry.page_number(dest.index, dest_page)
+        self.table.state.relocate_oob(old_ppn, new_ppn)
+        pool.retire_active()
         self.map.rebind_physical(old_ppn, new_ppn)
         source.invalidate(page)
         return PhysOp(kind=OpKind.WRITE, block_index=dest.index, page=dest_page)
@@ -735,8 +763,9 @@ class Ftl:
             old_ppn = self.geometry.page_number(victim.index, page)
             dest = pool.active_block(now_us)
             dest_page = dest.program_next(now_us)
-            pool.retire_active()
             new_ppn = self.geometry.page_number(dest.index, dest_page)
+            self.table.state.relocate_oob(old_ppn, new_ppn)
+            pool.retire_active()
             self.map.rebind_physical(old_ppn, new_ppn)
             victim.invalidate(page)
             ops.append(

@@ -82,8 +82,10 @@ _log = logging.getLogger(__name__)
 
 #: Wire-format version of :class:`WarmState`.  Bump whenever a captured
 #: field changes meaning or layout; stores treat any other value as
-#: stale and fall back to a cold preload.
-SNAPSHOT_SCHEMA = 1
+#: stale and fall back to a cold preload.  2: the device snapshot
+#: gained the on-flash SPOR metadata columns (OOB records, block
+#: summaries, reprogram journal, write-sequence counter).
+SNAPSHOT_SCHEMA = 2
 
 #: Spill-file magic: identifies the container before anything is parsed.
 _SPILL_MAGIC = b"IDASNAP1"

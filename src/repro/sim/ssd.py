@@ -134,6 +134,7 @@ class SsdSimulator:
         faults: FaultPlan | None = None,
         health=None,
         backend: ExecutionBackend | str | None = None,
+        ftl: FlashTranslation | None = None,
     ) -> None:
         self.geometry = geometry
         self.timing = timing
@@ -150,15 +151,22 @@ class SsdSimulator:
         # the same number of times in both systems); internal reads never
         # sample retries, so their differing op counts cannot skew it.
         self._host_retry_rng = np.random.default_rng(seed + 101)
-        self.ftl: FlashTranslation = Ftl(
-            geometry,
-            coding,
-            refresh_policy,
-            gc_policy=gc_policy,
-            rng=np.random.default_rng(seed + 1),
-            allocation=allocation,
-            tracer=self.tracer,
-        )
+        if ftl is not None:
+            # Adopt a pre-built translation layer — the power-loss
+            # recovery path mounts an FTL from on-flash metadata
+            # (:func:`repro.ftl.recovery.mount_device`) and resumes the
+            # workload on a fresh simulator around it.
+            self.ftl: FlashTranslation = ftl
+        else:
+            self.ftl = Ftl(
+                geometry,
+                coding,
+                refresh_policy,
+                gc_policy=gc_policy,
+                rng=np.random.default_rng(seed + 1),
+                allocation=allocation,
+                tracer=self.tracer,
+            )
         self.dies = [
             Resource(self.engine, f"die{d}", kind="die", index=d)
             for d in range(geometry.total_dies)
@@ -171,6 +179,12 @@ class SsdSimulator:
         if self.profiler is not None:
             self.profiler.bind(self.engine, self.dies, self.channels)
         self.ops_dispatched = 0
+        #: Optional hook ``fn(request, is_read)`` fired when a host
+        #: request fully completes (its acknowledgement instant).  The
+        #: crash-consistency harness uses it as the acked-write oracle:
+        #: data from any request acknowledged before a power cut must
+        #: survive the remount.  ``None`` costs one check per completion.
+        self.on_host_request_complete = None
         self._internal_sink = _NullCompletion()
         self._planner = StagePlanner(timing)
         # The policy's class -> queue mapping is static; resolve it once
@@ -345,6 +359,10 @@ class SsdSimulator:
                 self.profiler.end_request(
                     prof_ctx, now_us, self.timing.host_overhead_us
                 )
+            if self.on_host_request_complete is not None:
+                self.on_host_request_complete(
+                    req, klass is IoPriority.HOST_READ
+                )
             if on_request_done is not None:
                 on_request_done()
 
@@ -457,10 +475,13 @@ class SsdSimulator:
         )
         if fault is not None:
             on_done = self.faults.wrap_completion(fault, on_done)
-        elif self.faults is not None and op.kind is OpKind.ADJUST:
-            # Clean adjust completions retire their torn-recovery
-            # journal intent (only journaled when faults are armed).
-            on_done = self.faults.wrap_adjust_commit(op, on_done)
+        elif op.kind is OpKind.ADJUST:
+            # Clean adjust completions write their on-flash commit
+            # record and retire any torn-recovery journal intent.  This
+            # runs with or without a fault plan: the SPOR journal
+            # columns are always maintained, so a crash-free run leaves
+            # no stale intents behind for a later mount to misread.
+            on_done = self._wrap_adjust_commit(op, on_done)
         OpPipeline(
             self.engine,
             stages,
@@ -472,6 +493,15 @@ class SsdSimulator:
             profile=profile,
             fault=fault,
         ).start()
+
+    def _wrap_adjust_commit(self, op: PhysOp, inner):
+        """Completion callback committing a clean adjust durably."""
+
+        def completion(start_us: float, end_us: float) -> None:
+            self.ftl.commit_adjust(op.block_index, op.wordline)
+            inner(start_us, end_us)
+
+        return completion
 
     # ------------------------------------------------------------------
     # Bookkeeping

@@ -8,6 +8,7 @@ import pytest
 
 from repro.faults import (
     OP_KIND_OF,
+    PLAN_SCHEMA,
     TIMED_KINDS,
     FaultEvent,
     FaultKind,
@@ -50,7 +51,39 @@ class TestFaultEventValidation:
             FaultEvent(kind=FaultKind.ERASE_FAIL, op_ordinal=1, at_us=5.0)
 
     def test_every_kind_is_timed_or_op_coupled(self):
-        assert TIMED_KINDS | set(OP_KIND_OF) == set(FaultKind)
+        # POWER_CUT is the one kind living in both trigger domains.
+        assert TIMED_KINDS | set(OP_KIND_OF) | {FaultKind.POWER_CUT} == set(
+            FaultKind
+        )
+
+
+class TestPowerCutValidation:
+    def test_accepts_either_trigger(self):
+        FaultEvent(kind=FaultKind.POWER_CUT, at_us=50.0)
+        FaultEvent(kind=FaultKind.POWER_CUT, op_ordinal=17)
+
+    def test_rejects_neither_trigger(self):
+        with pytest.raises(ValueError, match="exactly one of"):
+            FaultEvent(kind=FaultKind.POWER_CUT)
+
+    def test_rejects_both_triggers(self):
+        with pytest.raises(ValueError, match="exactly one of"):
+            FaultEvent(kind=FaultKind.POWER_CUT, at_us=5.0, op_ordinal=3)
+
+    def test_ordinal_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultEvent(kind=FaultKind.POWER_CUT, op_ordinal=0)
+
+    def test_rejects_targets(self):
+        with pytest.raises(ValueError, match="block/die are invalid"):
+            FaultEvent(kind=FaultKind.POWER_CUT, at_us=5.0, block=3)
+
+    def test_round_trips_through_dict(self):
+        for event in (
+            FaultEvent(kind=FaultKind.POWER_CUT, at_us=123.5),
+            FaultEvent(kind=FaultKind.POWER_CUT, op_ordinal=42),
+        ):
+            assert FaultEvent.from_dict(event.to_dict()) == event
 
 
 class TestFaultPlanValidation:
@@ -182,6 +215,61 @@ class TestSerialisation:
     def test_from_dict_rejects_wrong_kind(self):
         with pytest.raises(ValueError, match="not a fault plan"):
             FaultPlan.from_dict({"kind": "run_manifest"})
+
+    def test_to_dict_stamps_schema(self):
+        assert self._plan().to_dict()["schema"] == PLAN_SCHEMA
+
+    def test_from_dict_rejects_future_schema(self):
+        data = self._plan().to_dict()
+        data["schema"] = PLAN_SCHEMA + 1
+        with pytest.raises(ValueError, match="unsupported fault plan schema"):
+            FaultPlan.from_dict(data)
+
+    def test_from_dict_accepts_missing_schema(self):
+        # Plans written before versioning carry no schema field.
+        data = self._plan().to_dict()
+        del data["schema"]
+        assert FaultPlan.from_dict(data) == self._plan()
+
+    def test_unknown_kind_names_the_entry(self):
+        data = {
+            "events": [
+                {"kind": "program_fail", "op_ordinal": 1},
+                {"kind": "bogus", "op_ordinal": 2},
+            ]
+        }
+        with pytest.raises(
+            ValueError, match=r"events\[1\]: unknown fault kind 'bogus'"
+        ):
+            FaultPlan.from_dict(data)
+
+    def test_malformed_field_names_the_entry(self):
+        data = {"events": [{"kind": "grown_bad", "at_us": "soon", "block": 1}]}
+        with pytest.raises(
+            ValueError, match=r"events\[0\]: at_us must be a number"
+        ):
+            FaultPlan.from_dict(data)
+        data = {"events": [{"kind": "power_cut", "op_ordinal": 1.5}]}
+        with pytest.raises(
+            ValueError, match=r"events\[0\]: op_ordinal must be an integer"
+        ):
+            FaultPlan.from_dict(data)
+
+    def test_unknown_event_field_rejected(self):
+        data = {"events": [{"kind": "power_cut", "op_ordinal": 3, "when": 1}]}
+        with pytest.raises(
+            ValueError, match=r"events\[0\]: unknown fault event field"
+        ):
+            FaultPlan.from_dict(data)
+
+    def test_missing_kind_rejected(self):
+        data = {"events": [{"op_ordinal": 3}]}
+        with pytest.raises(ValueError, match=r"events\[0\]: .*'kind'"):
+            FaultPlan.from_dict(data)
+
+    def test_events_must_be_a_list(self):
+        with pytest.raises(ValueError, match="events must be a list"):
+            FaultPlan.from_dict({"events": {"kind": "power_cut"}})
 
     def test_file_round_trip(self, tmp_path):
         plan = self._plan()

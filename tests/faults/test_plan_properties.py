@@ -1,0 +1,111 @@
+"""Property-based tests: FaultPlan JSON serialisation is lossless.
+
+A plan written by one process (the sweep driver, a CI job, a human) and
+read by another must describe the *same* failures — every kind, every
+trigger domain (timed, op-ordinal, and power_cut which can use either),
+every optional field.  Hypothesis generates arbitrary valid plans and
+checks ``from_dict(json(to_dict(plan))) == plan`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.plan import PLAN_SCHEMA, FaultEvent, FaultKind, FaultPlan
+
+_ordinals = st.integers(min_value=1, max_value=100_000)
+_times = st.floats(
+    min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+_op_coupled = st.tuples(
+    st.sampled_from(
+        [
+            FaultKind.PROGRAM_FAIL,
+            FaultKind.ERASE_FAIL,
+            FaultKind.UNCORRECTABLE_READ,
+            FaultKind.ADJUST_INTERRUPT,
+        ]
+    ),
+    _ordinals,
+).map(lambda t: FaultEvent(kind=t[0], op_ordinal=t[1]))
+
+_grown_bad = st.tuples(_times, st.integers(0, 350_207)).map(
+    lambda t: FaultEvent(kind=FaultKind.GROWN_BAD, at_us=t[0], block=t[1])
+)
+
+_die_fail = st.tuples(_times, st.integers(0, 63)).map(
+    lambda t: FaultEvent(kind=FaultKind.DIE_FAIL, at_us=t[0], die=t[1])
+)
+
+# power_cut is the one kind living in both trigger domains.
+_power_cut = st.one_of(
+    _times.map(lambda t: FaultEvent(kind=FaultKind.POWER_CUT, at_us=t)),
+    _ordinals.map(lambda o: FaultEvent(kind=FaultKind.POWER_CUT, op_ordinal=o)),
+)
+
+_events = st.one_of(_op_coupled, _grown_bad, _die_fail, _power_cut)
+
+
+@st.composite
+def _plans(draw) -> FaultPlan:
+    raw = draw(st.lists(_events, max_size=12))
+    # FaultPlan rejects duplicate (kind, op_ordinal) pairs by design;
+    # keep the first occurrence so every drawn plan is constructible.
+    events, seen = [], set()
+    for event in raw:
+        key = (event.kind, event.op_ordinal)
+        if event.op_ordinal is not None and key in seen:
+            continue
+        seen.add(key)
+        events.append(event)
+    return FaultPlan(
+        events=tuple(events),
+        name=draw(st.text(max_size=24)),
+        seed=draw(st.none() | st.integers(0, 2**31 - 1)),
+        read_reclaim_threshold=draw(st.none() | st.integers(1, 10_000)),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(plan=_plans())
+def test_json_round_trip_is_lossless(plan):
+    wire = json.dumps(plan.to_dict())
+    assert FaultPlan.from_dict(json.loads(wire)) == plan
+
+
+@settings(max_examples=80, deadline=None)
+@given(plan=_plans())
+def test_serialised_form_is_tagged_and_versioned(plan):
+    data = plan.to_dict()
+    assert data["kind"] == "fault_plan"
+    assert data["schema"] == PLAN_SCHEMA
+    assert len(data["events"]) == len(plan.events)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    plan=_plans(),
+    schema=st.one_of(
+        st.integers().filter(lambda s: s != PLAN_SCHEMA),
+        st.text(max_size=8),
+    ),
+)
+def test_foreign_schema_versions_are_rejected(plan, schema):
+    data = plan.to_dict()
+    data["schema"] = schema
+    with pytest.raises(ValueError, match="schema"):
+        FaultPlan.from_dict(data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(event=_events)
+def test_event_dicts_only_carry_set_fields(event):
+    data = event.to_dict()
+    assert set(data) <= {"kind", "at_us", "op_ordinal", "block", "die"}
+    for name in ("at_us", "op_ordinal", "block", "die"):
+        assert (name in data) == (getattr(event, name) is not None)
+    assert FaultEvent.from_dict(json.loads(json.dumps(data))) == event
